@@ -1,0 +1,165 @@
+// Command plexus-bench regenerates the paper's evaluation: every figure and
+// table of §4 and §5, plus the ablations DESIGN.md calls out. Output is
+// aligned text, one section per experiment, in the same rows/series the
+// paper reports.
+//
+// Usage:
+//
+//	plexus-bench                 # run everything
+//	plexus-bench -exp fig5       # one experiment: fig5 | tput | fig6 | fig7 | ablations
+//	plexus-bench -exp fig5 -fastdriver
+//	plexus-bench -size 2097152   # bulk-transfer size for tput
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"plexus/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all | fig5 | tput | fig6 | fig7 | http | ablations")
+	fast := flag.Bool("fastdriver", false, "use the faster device driver variant (§4.1)")
+	size := flag.Int("size", 1<<20, "bulk transfer size in bytes for -exp tput")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "plexus-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("fig5", func() error { return fig5(*fast) })
+	run("tput", func() error { return tput(*size) })
+	run("fig6", fig6)
+	run("fig7", fig7)
+	run("http", httpDemo)
+	run("ablations", ablations)
+}
+
+func header(title string) {
+	fmt.Printf("\n%s\n", title)
+	for range title {
+		fmt.Print("-")
+	}
+	fmt.Println()
+}
+
+func fig5(fast bool) error {
+	title := "Figure 5: UDP round-trip latency, 8-byte packets (µs)"
+	if fast {
+		title += " — faster device driver"
+	}
+	header(title)
+	rows, err := bench.Fig5(fast)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "device\tsystem\tRTT (µs)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%.0f\n", r.Device, r.System, r.RTT.Micros())
+	}
+	return w.Flush()
+}
+
+func tput(size int) error {
+	header(fmt.Sprintf("§4.2: TCP throughput, %d-byte transfer (Mb/s)", size))
+	rows, err := bench.Throughput(size)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "device\tsystem\tMb/s")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%.1f\n", r.Device, r.System, r.Mbps)
+	}
+	return w.Flush()
+}
+
+func fig6() error {
+	header("Figure 6: video server CPU utilization vs client streams (T3)")
+	rows, err := bench.Fig6([]int{1, 5, 10, 15, 20, 25, 30})
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "streams\tSPIN/Plexus CPU\tDIGITAL UNIX CPU\tgoodput (Mb/s)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%.1f%%\t%.1f%%\t%.1f\n",
+			r.Streams,
+			r.Utilization[bench.SysPlexusInterrupt]*100,
+			r.Utilization[bench.SysDUX]*100,
+			r.GoodputMbps)
+	}
+	return w.Flush()
+}
+
+func fig7() error {
+	header("Figure 7: TCP redirection latency (request→echo, through forwarder)")
+	rows, err := bench.Fig7([]int{64, 256, 512, 1024, 1460})
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "payload (B)\tPlexus in-kernel (µs)\tDUX user-level (µs)\tratio")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%.0f\t%.0f\t%.2f\n",
+			r.PayloadBytes, r.KernelLatency.Micros(), r.SpliceLatency.Micros(),
+			float64(r.SpliceLatency)/float64(r.KernelLatency))
+	}
+	return w.Flush()
+}
+
+func httpDemo() error {
+	header("HTTP service (the paper's concluding demo): mean GET latency, 1KB body")
+	rows, err := bench.HTTP(20)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "server\tlatency (µs)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.0f\n", r.System, r.Latency.Micros())
+	}
+	return w.Flush()
+}
+
+func ablations() error {
+	header("Ablations")
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "configuration\tvalue (µs)\tnote")
+	spoof, err := bench.SpoofPolicyAblation(100)
+	if err != nil {
+		return err
+	}
+	cksum, err := bench.ChecksumAblation(1400)
+	if err != nil {
+		return err
+	}
+	guards, err := bench.GuardChainAblation([]int{0, 10, 50, 100})
+	if err != nil {
+		return err
+	}
+	filters, err := bench.FilterBackendAblation(50)
+	if err != nil {
+		return err
+	}
+	ilp, err := bench.ILPAblation(10)
+	if err != nil {
+		return err
+	}
+	for _, rows := range [][]bench.AblationRow{spoof, cksum, guards, filters, ilp} {
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%.1f\t%s\n", r.Name, r.Value.Micros(), r.Note)
+		}
+	}
+	return w.Flush()
+}

@@ -1,0 +1,90 @@
+// Declarative packet filters as guards: expressions like
+// "ip.proto == 17 && udp.dport == 9" compile to Plexus guards two ways —
+// native closures (the typesafe-extension model) or bytecode for a small
+// interpreter VM (the §3.5 alternative firewall mechanism). The example
+// installs a filter-driven packet tap, shows both backends agreeing, prints
+// the VM disassembly, and measures what each backend adds to a round trip.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"plexus/internal/event"
+	"plexus/internal/filter"
+	"plexus/internal/mbuf"
+	"plexus/internal/netdev"
+	"plexus/internal/osmodel"
+	"plexus/internal/plexus"
+	"plexus/internal/sim"
+	"plexus/internal/view"
+)
+
+func main() {
+	net, a, b, err := plexus.TwoHosts(17, netdev.EthernetModel(),
+		plexus.HostSpec{Name: "a", Personality: osmodel.SPIN, Dispatch: osmodel.DispatchInterrupt},
+		plexus.HostSpec{Name: "b", Personality: osmodel.SPIN, Dispatch: osmodel.DispatchInterrupt})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const expr = "ip.proto == 17 && (udp.dport == 9 || udp.dport == 7) && !ip.frag"
+	// The tap hangs on UDP.PacketRecv, where packets are IP-framed and the
+	// tap (installed before any endpoint) observes before consumers run.
+	fmt.Printf("filter: %s\n\n", expr)
+
+	// Native backend: a compiled guard.
+	f, err := filter.Parse(expr, filter.BaseIP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Interpreted backend: the same expression as VM bytecode.
+	prog, err := filter.CompileInterpreted(expr, filter.BaseIP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("VM bytecode (%d instructions):\n%s\n", prog.Len(), prog)
+
+	// Install a tap on B's UDP.PacketRecv with the native guard: installed
+	// before any endpoint, it observes each matching datagram before the
+	// consuming endpoint handler runs.
+	matches, vmAgrees := 0, 0
+	if _, err := b.Host.Disp.Install("UDP.PacketRecv",
+		func(t *sim.Task, m *mbuf.Mbuf) bool { return f.Match(m) },
+		event.Ephemeral("tap", func(t *sim.Task, m *mbuf.Mbuf) {
+			matches++
+			if prog.Run(t, m) {
+				vmAgrees++
+			}
+			// Observe only; the endpoint handler owns the packet.
+		}), 0); err != nil {
+		log.Fatal(err)
+	}
+
+	if _, err := b.OpenUDP(plexus.UDPAppOptions{Port: 9}, func(*sim.Task, []byte, view.IP4, uint16) {}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := b.OpenUDP(plexus.UDPAppOptions{Port: 5353}, func(*sim.Task, []byte, view.IP4, uint16) {}); err != nil {
+		log.Fatal(err)
+	}
+	capp, err := a.OpenUDP(plexus.UDPAppOptions{}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a.Spawn("traffic", func(t *sim.Task) {
+		for i := 0; i < 5; i++ {
+			_ = capp.Send(t, b.Addr(), 9, []byte("match"))    // matches
+			_ = capp.Send(t, b.Addr(), 5353, []byte("other")) // filtered out
+		}
+	})
+	net.Sim.Run()
+	fmt.Printf("tap saw %d of 10 datagrams (5 matched the filter); VM agreed on %d/%d\n\n",
+		matches, vmAgrees, matches)
+	if matches != 5 || vmAgrees != 5 {
+		log.Fatal("backends disagreed")
+	}
+	fmt.Println("the native guard costs one dispatcher guard-evaluation (~200ns);")
+	fmt.Printf("the interpreted guard charges ~%v per packet for this expression —\n",
+		sim.Time(prog.Len())*filter.DefaultInstrCost)
+	fmt.Println("the price §3.5 notes for interpreted in-kernel firewalls")
+}

@@ -1,0 +1,63 @@
+// Network video (paper §5.1, Figure 6): a server extension reads frames
+// "off the disk" and multicasts them as UDP datagrams over a 45Mb/s T3; a
+// client checksums, decompresses, and displays each frame. The example runs
+// the workload at a few stream counts under both OS personalities and prints
+// the server's CPU utilization — the Figure 6 comparison in miniature.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"plexus/internal/netdev"
+	"plexus/internal/osmodel"
+	"plexus/internal/plexus"
+	"plexus/internal/sim"
+	"plexus/internal/video"
+	"plexus/internal/view"
+)
+
+func run(personality osmodel.Personality, streams int) (util float64, late uint64, frames uint64) {
+	net, err := plexus.NewNetwork(3, netdev.DECT3Model(), []plexus.HostSpec{
+		{Name: "server", Personality: personality, Dispatch: osmodel.DispatchInterrupt},
+		{Name: "client", Personality: osmodel.SPIN, Dispatch: osmodel.DispatchInterrupt},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	net.PrimeARP()
+	serverHost, clientHost := net.Hosts[0], net.Hosts[1]
+
+	srv, err := video.NewServer(serverHost, video.ServerConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := video.NewClient(clientHost, video.DefaultPort)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < streams; i++ {
+		srv.AddStream(view.IP4{224, 0, 1, byte(i + 1)})
+	}
+	serverHost.Host.CPU.MarkUtilization()
+	srv.Run(2 * sim.Second)
+	net.Sim.RunUntil(2 * sim.Second)
+	return serverHost.Host.CPU.Utilization(), srv.Stats().TicksLate, client.Stats().FramesRcvd
+}
+
+func main() {
+	fmt.Println("video server CPU utilization, 30fps × 12.5KB frames over T3 (2s of video)")
+	fmt.Println("streams   SPIN/Plexus   DIGITAL UNIX   (frames delivered, SPIN)")
+	for _, streams := range []int{1, 5, 10, 15, 20} {
+		spinU, _, frames := run(osmodel.SPIN, streams)
+		duxU, late, _ := run(osmodel.Monolithic, streams)
+		note := ""
+		if late > 0 {
+			note = fmt.Sprintf("  (DUX missed %d frame deadlines)", late)
+		}
+		fmt.Printf("%7d   %10.1f%%   %11.1f%%   %d%s\n", streams, spinU*100, duxU*100, frames, note)
+	}
+	fmt.Println("\nthe paper's Figure 6: at equal stream counts the SPIN server uses")
+	fmt.Println("roughly half the processor, because frames go disk→network without")
+	fmt.Println("crossing the user/kernel boundary")
+}

@@ -1,0 +1,3 @@
+module plexus
+
+go 1.22

@@ -1,0 +1,136 @@
+package activemsg
+
+import (
+	"testing"
+
+	"plexus/internal/netdev"
+	"plexus/internal/osmodel"
+	"plexus/internal/plexus"
+	"plexus/internal/sim"
+)
+
+func amPair(t *testing.T, allotment sim.Time) (*plexus.Network, *plexus.Stack, *plexus.Stack, *AM, *AM) {
+	t.Helper()
+	n, a, b, err := plexus.TwoHosts(1, netdev.EthernetModel(),
+		plexus.HostSpec{Name: "a", Personality: osmodel.SPIN, Dispatch: osmodel.DispatchInterrupt},
+		plexus.HostSpec{Name: "b", Personality: osmodel.SPIN, Dispatch: osmodel.DispatchInterrupt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	amA, err := New(a.Ether, a.Host.Pool, a.Host.Costs, allotment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amB, err := New(b.Ether, b.Host.Pool, b.Host.Costs, allotment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, a, b, amA, amB
+}
+
+func TestActiveMessageRoundTrip(t *testing.T) {
+	n, a, b, amA, amB := amPair(t, 0)
+	var gotArg uint32
+	var gotPayload []byte
+	if err := amB.Register(3, func(task *sim.Task, seq uint16, arg uint32, payload []byte) uint32 {
+		gotArg = arg
+		gotPayload = append([]byte(nil), payload...)
+		return arg + 1
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var replyArg uint32
+	var sentAt, replyAt sim.Time
+	amA.OnReply(func(task *sim.Task, seq uint16, arg uint32) {
+		replyArg = arg
+		replyAt = task.Now()
+	})
+	a.Spawn("send", func(task *sim.Task) {
+		sentAt = task.Now()
+		if _, err := amA.Send(task, b.NIC.MAC(), 3, 41, []byte("am-payload")); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	})
+	n.Sim.Run()
+	if gotArg != 41 || string(gotPayload) != "am-payload" {
+		t.Fatalf("handler saw arg=%d payload=%q", gotArg, gotPayload)
+	}
+	if replyArg != 42 {
+		t.Fatalf("reply arg = %d, want 42", replyArg)
+	}
+	rtt := replyAt - sentAt
+	t.Logf("active message RTT = %v", rtt)
+	// Handlers run at interrupt level with no transport layers: the RTT
+	// must beat the full UDP stack's (~440µs on this Ethernet).
+	if rtt <= 0 || rtt > 400*sim.Microsecond {
+		t.Errorf("active-message RTT %v should be below 400µs", rtt)
+	}
+	sa, sb := amA.Stats(), amB.Stats()
+	if sa.RequestsSent != 1 || sb.RequestsRcvd != 1 || sb.RepliesSent != 1 || sa.RepliesRcvd != 1 {
+		t.Errorf("stats wrong: a=%+v b=%+v", sa, sb)
+	}
+}
+
+func TestActiveMessageBadHandlerIndex(t *testing.T) {
+	_, a, b, amA, _ := amPair(t, 0)
+	_ = b
+	a.Spawn("send", func(task *sim.Task) {
+		if _, err := amA.Send(task, b.NIC.MAC(), -1, 0, nil); err != ErrBadHandler {
+			t.Errorf("err = %v, want ErrBadHandler", err)
+		}
+		if _, err := amA.Send(task, b.NIC.MAC(), MaxHandlers, 0, nil); err != ErrBadHandler {
+			t.Errorf("err = %v, want ErrBadHandler", err)
+		}
+	})
+	if err := amA.Register(MaxHandlers, nil); err != ErrBadHandler {
+		t.Errorf("Register out of range: %v", err)
+	}
+}
+
+func TestActiveMessageUnregisteredHandlerCounted(t *testing.T) {
+	n, a, b, amA, amB := amPair(t, 0)
+	_ = b
+	a.Spawn("send", func(task *sim.Task) {
+		if _, err := amA.Send(task, b.NIC.MAC(), 5, 0, nil); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	})
+	n.Sim.Run()
+	if amB.Stats().BadMessages != 1 {
+		t.Errorf("BadMessages = %d, want 1", amB.Stats().BadMessages)
+	}
+}
+
+func TestActiveMessageTooBig(t *testing.T) {
+	_, a, b, amA, _ := amPair(t, 0)
+	a.Spawn("send", func(task *sim.Task) {
+		if _, err := amA.Send(task, b.NIC.MAC(), 0, 0, make([]byte, 2000)); err != ErrTooBig {
+			t.Errorf("err = %v, want ErrTooBig", err)
+		}
+	})
+}
+
+// §3.3: a handler exceeding its time allotment is prematurely terminated.
+func TestActiveMessageAllotmentTermination(t *testing.T) {
+	n, a, b, amA, amB := amPair(t, 20*sim.Microsecond)
+	if err := amB.Register(0, func(task *sim.Task, seq uint16, arg uint32, payload []byte) uint32 {
+		task.Charge(500 * sim.Microsecond) // hog the interrupt
+		return 0
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a.Spawn("send", func(task *sim.Task) {
+		if _, err := amA.Send(task, b.NIC.MAC(), 0, 0, nil); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	})
+	n.Sim.Run()
+	if amB.Binding().Stats().Terminations == 0 {
+		t.Fatal("hog handler was not prematurely terminated")
+	}
+	// The interrupt was not held for the full 500µs: the charge stopped at
+	// the allotment boundary.
+	if busy := b.Host.CPU.Busy(); busy > 300*sim.Microsecond {
+		t.Errorf("receiver CPU busy %v; termination did not bound the handler", busy)
+	}
+}

@@ -1,0 +1,218 @@
+// Package arp implements the Address Resolution Protocol node of the
+// protocol graph: a cache, request/reply processing, and a pending queue for
+// packets awaiting resolution.
+package arp
+
+import (
+	"fmt"
+
+	"plexus/internal/ether"
+	"plexus/internal/event"
+	"plexus/internal/mbuf"
+	"plexus/internal/osmodel"
+	"plexus/internal/sim"
+	"plexus/internal/view"
+)
+
+// Tunables, following conventional BSD behaviour.
+const (
+	// EntryLifetime is how long a learned mapping stays valid.
+	EntryLifetime = 20 * 60 * sim.Second
+	// RetryInterval separates retransmitted requests.
+	RetryInterval = 1 * sim.Second
+	// MaxRetries bounds request retransmissions before pending packets
+	// are dropped.
+	MaxRetries = 3
+	// maxPending bounds packets queued per unresolved address.
+	maxPending = 8
+)
+
+type entry struct {
+	mac     view.MAC
+	expires sim.Time
+}
+
+type pendingPkt struct {
+	m *mbuf.Mbuf
+	t uint16 // ether type to use once resolved
+}
+
+type resolution struct {
+	pkts    []pendingPkt
+	retries int
+	timer   *sim.Timer
+}
+
+// Stats counts ARP activity.
+type Stats struct {
+	RequestsSent  uint64
+	RepliesSent   uint64
+	RequestsRecvd uint64
+	RepliesRecvd  uint64
+	Drops         uint64 // pending packets dropped after MaxRetries
+}
+
+// ARP is the protocol node for one interface.
+type ARP struct {
+	sim    *sim.Sim
+	eth    *ether.Layer
+	pool   *mbuf.Pool
+	costs  osmodel.Costs
+	selfIP view.IP4
+
+	cache   map[view.IP4]entry
+	pending map[view.IP4]*resolution
+	stats   Stats
+}
+
+// New creates the ARP node and installs its guard/handler pair on
+// Ethernet.PacketRecv (guard: EtherType == ARP).
+func New(s *sim.Sim, eth *ether.Layer, pool *mbuf.Pool, costs osmodel.Costs, selfIP view.IP4) (*ARP, error) {
+	a := &ARP{
+		sim:     s,
+		eth:     eth,
+		pool:    pool,
+		costs:   costs,
+		selfIP:  selfIP,
+		cache:   make(map[view.IP4]entry),
+		pending: make(map[view.IP4]*resolution),
+	}
+	_, err := eth.InstallRecv(
+		ether.TypeGuard(view.EtherTypeARP),
+		event.Ephemeral("arp.input", a.input),
+		0,
+	)
+	if err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Stats returns a snapshot of counters.
+func (a *ARP) Stats() Stats { return a.stats }
+
+// AddStatic installs a permanent mapping (tests and the T3 point-to-point
+// configuration use this).
+func (a *ARP) AddStatic(ip view.IP4, mac view.MAC) {
+	a.cache[ip] = entry{mac: mac, expires: 1<<62 - 1}
+}
+
+// Lookup consults the cache without side effects.
+func (a *ARP) Lookup(ip view.IP4) (view.MAC, bool) {
+	e, ok := a.cache[ip]
+	if !ok || a.sim.Now() > e.expires {
+		return view.MAC{}, false
+	}
+	return e.mac, true
+}
+
+// Send transmits m (consumed) to the on-link protocol address nextHop with
+// the given Ethernet type, resolving the hardware address first if needed.
+// Unresolved packets are queued and flushed by the reply; resolution failure
+// after MaxRetries drops them.
+func (a *ARP) Send(t *sim.Task, nextHop view.IP4, etherType uint16, m *mbuf.Mbuf) error {
+	if nextHop.IsBroadcast() {
+		return a.eth.Send(t, view.BroadcastMAC, etherType, m)
+	}
+	if nextHop.IsMulticast() {
+		// RFC 1112 static mapping: 01:00:5e + low 23 bits.
+		mac := view.MAC{0x01, 0x00, 0x5e, nextHop[1] & 0x7f, nextHop[2], nextHop[3]}
+		return a.eth.Send(t, mac, etherType, m)
+	}
+	if mac, ok := a.Lookup(nextHop); ok {
+		return a.eth.Send(t, mac, etherType, m)
+	}
+	r, inFlight := a.pending[nextHop]
+	if !inFlight {
+		r = &resolution{}
+		a.pending[nextHop] = r
+	}
+	if len(r.pkts) >= maxPending {
+		a.stats.Drops++
+		m.Free()
+		return fmt.Errorf("arp: pending queue full for %v", nextHop)
+	}
+	r.pkts = append(r.pkts, pendingPkt{m: m, t: etherType})
+	if !inFlight {
+		a.sendRequest(t, nextHop, r)
+	}
+	return nil
+}
+
+func (a *ARP) sendRequest(t *sim.Task, ip view.IP4, r *resolution) {
+	req := a.pool.FromBytes(make([]byte, view.ARPHdrLen), 32)
+	b, _ := req.MutableBytes()
+	v, _ := view.ARP(b)
+	v.Init(view.ARPRequest, a.eth.MAC(), a.selfIP, view.MAC{}, ip)
+	a.stats.RequestsSent++
+	if err := a.eth.Send(t, view.BroadcastMAC, view.EtherTypeARP, req); err != nil {
+		a.sim.Tracef(sim.TraceProto, "arp: request send failed: %v", err)
+	}
+	r.timer = a.sim.After(RetryInterval, "arp-retry", func() {
+		cur, ok := a.pending[ip]
+		if !ok || cur != r {
+			return
+		}
+		r.retries++
+		if r.retries >= MaxRetries {
+			for _, p := range r.pkts {
+				p.m.Free()
+				a.stats.Drops++
+			}
+			delete(a.pending, ip)
+			a.sim.Tracef(sim.TraceProto, "arp: resolution of %v failed", ip)
+			return
+		}
+		// Retransmit from a fresh kernel-priority task.
+		a.eth.CPUSubmit("arp-retry", func(task *sim.Task) { a.sendRequest(task, ip, r) })
+	})
+}
+
+// input processes an incoming ARP packet (full Ethernet frame, read-only).
+func (a *ARP) input(t *sim.Task, m *mbuf.Mbuf) {
+	t.Charge(a.costs.EtherProc)
+	defer m.Free()
+	frame, err := m.CopyData(0, m.PktLen())
+	if err != nil || len(frame) < view.EthernetHdrLen+view.ARPHdrLen {
+		return
+	}
+	v, err := view.ARP(frame[view.EthernetHdrLen:])
+	if err != nil || v.HType() != 1 || v.PType() != view.EtherTypeIPv4 {
+		return
+	}
+	// Learn the sender mapping unconditionally (as BSD does).
+	a.learn(v.SenderIP(), v.SenderMAC(), t)
+	switch v.Op() {
+	case view.ARPRequest:
+		a.stats.RequestsRecvd++
+		if v.TargetIP() != a.selfIP {
+			return
+		}
+		rep := a.pool.FromBytes(make([]byte, view.ARPHdrLen), 32)
+		b, _ := rep.MutableBytes()
+		rv, _ := view.ARP(b)
+		rv.Init(view.ARPReply, a.eth.MAC(), a.selfIP, v.SenderMAC(), v.SenderIP())
+		a.stats.RepliesSent++
+		if err := a.eth.Send(t, v.SenderMAC(), view.EtherTypeARP, rep); err != nil {
+			a.sim.Tracef(sim.TraceProto, "arp: reply send failed: %v", err)
+		}
+	case view.ARPReply:
+		a.stats.RepliesRecvd++
+	}
+}
+
+// learn records a mapping and flushes any packets waiting on it.
+func (a *ARP) learn(ip view.IP4, mac view.MAC, t *sim.Task) {
+	a.cache[ip] = entry{mac: mac, expires: a.sim.Now() + EntryLifetime}
+	if r, ok := a.pending[ip]; ok {
+		if r.timer != nil {
+			r.timer.Stop()
+		}
+		delete(a.pending, ip)
+		for _, p := range r.pkts {
+			if err := a.eth.Send(t, mac, p.t, p.m); err != nil {
+				a.sim.Tracef(sim.TraceProto, "arp: flush send failed: %v", err)
+			}
+		}
+	}
+}

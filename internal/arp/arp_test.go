@@ -1,0 +1,181 @@
+package arp_test
+
+import (
+	"testing"
+
+	"plexus/internal/arp"
+	"plexus/internal/netdev"
+	"plexus/internal/osmodel"
+	"plexus/internal/plexus"
+	"plexus/internal/sim"
+	"plexus/internal/view"
+)
+
+func spin(name string) plexus.HostSpec {
+	return plexus.HostSpec{Name: name, Personality: osmodel.SPIN, Dispatch: osmodel.DispatchInterrupt}
+}
+
+// unprimed builds two hosts without static ARP entries.
+func unprimed(t *testing.T) (*plexus.Network, *plexus.Stack, *plexus.Stack) {
+	t.Helper()
+	n, err := plexus.NewNetwork(1, netdev.EthernetModel(), []plexus.HostSpec{spin("a"), spin("b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, n.Hosts[0], n.Hosts[1]
+}
+
+func TestStaticEntry(t *testing.T) {
+	_, a, b := unprimed(t)
+	a.ARP.AddStatic(b.Addr(), b.NIC.MAC())
+	mac, ok := a.ARP.Lookup(b.Addr())
+	if !ok || mac != b.NIC.MAC() {
+		t.Fatal("static entry not resolvable")
+	}
+}
+
+func TestResolutionFailureDropsPending(t *testing.T) {
+	n, a, _ := unprimed(t)
+	ghost := view.IP4{10, 0, 0, 200} // nobody answers
+	capp, err := a.OpenUDP(plexus.UDPAppOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Spawn("send", func(task *sim.Task) {
+		_ = capp.Send(task, ghost, 9, []byte("into the void"))
+	})
+	n.Sim.RunUntil(sim.Time(arp.MaxRetries+2) * arp.RetryInterval)
+	st := a.ARP.Stats()
+	if st.RequestsSent != arp.MaxRetries {
+		t.Errorf("RequestsSent = %d, want %d retransmissions", st.RequestsSent, arp.MaxRetries)
+	}
+	if st.Drops != 1 {
+		t.Errorf("Drops = %d, want 1 pending packet dropped", st.Drops)
+	}
+	if _, ok := a.ARP.Lookup(ghost); ok {
+		t.Error("unanswered address resolved")
+	}
+	// mbuf accounting: the dropped packet was returned to the pool.
+	if inuse := a.Host.Pool.Stats().InUse; inuse != 0 {
+		t.Errorf("leaked %d mbufs after resolution failure", inuse)
+	}
+}
+
+func TestPendingQueueFlushedInOrder(t *testing.T) {
+	n, a, b := unprimed(t)
+	var got []string
+	if _, err := b.OpenUDP(plexus.UDPAppOptions{Port: 9}, func(task *sim.Task, data []byte, src view.IP4, srcPort uint16) {
+		got = append(got, string(data))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	capp, err := a.OpenUDP(plexus.UDPAppOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three sends before resolution completes: all must queue on the one
+	// outstanding request and flush in order.
+	a.Spawn("burst", func(task *sim.Task) {
+		for _, s := range []string{"one", "two", "three"} {
+			if err := capp.Send(task, b.Addr(), 9, []byte(s)); err != nil {
+				t.Errorf("send %s: %v", s, err)
+			}
+		}
+	})
+	n.Sim.Run()
+	if len(got) != 3 || got[0] != "one" || got[1] != "two" || got[2] != "three" {
+		t.Fatalf("flush order: %v", got)
+	}
+	if a.ARP.Stats().RequestsSent != 1 {
+		t.Errorf("RequestsSent = %d, want a single outstanding request", a.ARP.Stats().RequestsSent)
+	}
+}
+
+func TestPendingQueueOverflow(t *testing.T) {
+	n, a, _ := unprimed(t)
+	ghost := view.IP4{10, 0, 0, 200}
+	capp, err := a.OpenUDP(plexus.UDPAppOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	a.Spawn("flood", func(task *sim.Task) {
+		for i := 0; i < 12; i++ { // maxPending is 8
+			if err := capp.Send(task, ghost, 9, []byte("x")); err != nil {
+				errs++
+			}
+		}
+	})
+	n.Sim.RunUntil(100 * sim.Millisecond)
+	if errs != 4 {
+		t.Errorf("overflow errors = %d, want 4 (12 sends, 8 queued)", errs)
+	}
+}
+
+func TestEntryExpiry(t *testing.T) {
+	n, a, b := unprimed(t)
+	capp, err := a.OpenUDP(plexus.UDPAppOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.OpenUDP(plexus.UDPAppOptions{Port: 9}, nil); err != nil {
+		t.Fatal(err)
+	}
+	a.Spawn("send", func(task *sim.Task) { _ = capp.Send(task, b.Addr(), 9, []byte("x")) })
+	n.Sim.RunUntil(sim.Second)
+	if _, ok := a.ARP.Lookup(b.Addr()); !ok {
+		t.Fatal("mapping not learned")
+	}
+	// Advance past the entry lifetime: the mapping must age out.
+	n.Sim.RunUntil(n.Sim.Now() + arp.EntryLifetime + sim.Second)
+	if _, ok := a.ARP.Lookup(b.Addr()); ok {
+		t.Fatal("mapping survived past its lifetime")
+	}
+}
+
+func TestRepliesOnlyForSelf(t *testing.T) {
+	n, a, b := unprimed(t)
+	// a asks for an address b does not own: b must stay silent (but still
+	// learns a's mapping, as BSD does).
+	capp, err := a.OpenUDP(plexus.UDPAppOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Spawn("send", func(task *sim.Task) {
+		_ = capp.Send(task, view.IP4{10, 0, 0, 200}, 9, []byte("x"))
+	})
+	n.Sim.RunUntil(sim.Second)
+	if b.ARP.Stats().RepliesSent != 0 {
+		t.Error("b replied for an address it does not own")
+	}
+	if b.ARP.Stats().RequestsRecvd == 0 {
+		t.Error("b never saw the broadcast request")
+	}
+	if _, ok := b.ARP.Lookup(a.Addr()); !ok {
+		t.Error("b did not learn the requester's mapping")
+	}
+}
+
+func TestMulticastMapping(t *testing.T) {
+	n, a, b := unprimed(t)
+	// RFC 1112: multicast needs no ARP exchange at all.
+	got := 0
+	if _, err := b.OpenUDP(plexus.UDPAppOptions{Port: 9, AcceptMulticast: true},
+		func(*sim.Task, []byte, view.IP4, uint16) { got++ }); err != nil {
+		t.Fatal(err)
+	}
+	capp, err := a.OpenUDP(plexus.UDPAppOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Spawn("send", func(task *sim.Task) {
+		_ = capp.Send(task, view.IP4{224, 0, 1, 5}, 9, []byte("mc"))
+	})
+	n.Sim.Run()
+	if got != 1 {
+		t.Fatal("multicast datagram not delivered")
+	}
+	if a.ARP.Stats().RequestsSent != 0 {
+		t.Error("multicast triggered an ARP request")
+	}
+}

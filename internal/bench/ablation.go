@@ -1,0 +1,288 @@
+package bench
+
+import (
+	"fmt"
+
+	"plexus/internal/event"
+	"plexus/internal/filter"
+	"plexus/internal/mbuf"
+	"plexus/internal/netdev"
+	"plexus/internal/osmodel"
+	"plexus/internal/plexus"
+	"plexus/internal/sim"
+	"plexus/internal/udp"
+	"plexus/internal/video"
+	"plexus/internal/view"
+)
+
+// This file implements the ablation experiments DESIGN.md calls out: design
+// choices of the architecture measured in isolation.
+
+// AblationRow is one measured configuration of an ablation.
+type AblationRow struct {
+	Name  string
+	Value sim.Time
+	Note  string
+}
+
+// SpoofPolicyAblation compares the §3.1 anti-spoofing policies: overwriting
+// the source field versus verifying it, measured as the per-send cost of
+// SendRaw under each policy (averaged over n sends).
+func SpoofPolicyAblation(n int) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, policy := range []udp.SpoofPolicy{udp.Overwrite, udp.Verify} {
+		net, client, server, err := plexus.TwoHosts(1, netdev.EthernetModel(),
+			hostSpec("client", SysPlexusInterrupt), hostSpec("server", SysPlexusInterrupt))
+		if err != nil {
+			return nil, err
+		}
+		if _, err := server.OpenUDP(plexus.UDPAppOptions{Port: 9}, nil); err != nil {
+			return nil, err
+		}
+		ep, err := client.UDP.Open(udp.EndpointOptions{SpoofPolicy: policy, Ephemeral: true}, nil)
+		if err != nil {
+			return nil, err
+		}
+		var spent sim.Time
+		client.Spawn("sender", func(t *sim.Task) {
+			for i := 0; i < n; i++ {
+				seg := client.Host.Pool.FromBytes(make([]byte, view.UDPHdrLen+8), 64)
+				b, _ := seg.MutableBytes()
+				uv, _ := view.UDP(b)
+				uv.SetSrcPort(ep.Port()) // legitimate; Verify passes
+				uv.SetDstPort(9)
+				uv.SetLength(seg.PktLen())
+				before := t.Charged()
+				if err := ep.SendRaw(t, server.Addr(), seg); err != nil {
+					return
+				}
+				spent += t.Charged() - before
+			}
+		})
+		net.Sim.RunUntil(10 * sim.Second)
+		name := "spoof-policy/overwrite"
+		note := "manager stamps the source field"
+		if policy == udp.Verify {
+			name = "spoof-policy/verify"
+			note = "manager checks the source field"
+		}
+		rows = append(rows, AblationRow{Name: name, Value: spent / sim.Time(n), Note: note})
+	}
+	return rows, nil
+}
+
+// ChecksumAblation compares UDP round-trip latency with the checksum enabled
+// and disabled (the §1.1 application-specific variant), for a payload large
+// enough that the per-byte cost shows.
+func ChecksumAblation(payload int) ([]AblationRow, error) {
+	run := func(disable bool) (sim.Time, error) {
+		n, client, server, err := plexus.TwoHosts(1, netdev.EthernetModel(),
+			hostSpec("client", SysPlexusInterrupt), hostSpec("server", SysPlexusInterrupt))
+		if err != nil {
+			return 0, err
+		}
+		var echo *plexus.UDPApp
+		echo, err = server.OpenUDP(plexus.UDPAppOptions{Port: 7, DisableChecksum: disable},
+			func(t *sim.Task, data []byte, src view.IP4, srcPort uint16) {
+				_ = echo.Send(t, src, srcPort, data)
+			})
+		if err != nil {
+			return 0, err
+		}
+		var sentAt, gotAt sim.Time
+		capp, err := client.OpenUDP(plexus.UDPAppOptions{DisableChecksum: disable},
+			func(t *sim.Task, data []byte, src view.IP4, srcPort uint16) {
+				gotAt = t.Now()
+			})
+		if err != nil {
+			return 0, err
+		}
+		client.Spawn("client", func(t *sim.Task) {
+			sentAt = t.Now()
+			_ = capp.Send(t, server.Addr(), 7, make([]byte, payload))
+		})
+		n.Sim.RunUntil(10 * sim.Second)
+		if gotAt == 0 {
+			return 0, fmt.Errorf("bench: no echo")
+		}
+		return gotAt - sentAt, nil
+	}
+	with, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	without, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return []AblationRow{
+		{Name: fmt.Sprintf("udp-checksum/on (%dB)", payload), Value: with, Note: "standard UDP"},
+		{Name: fmt.Sprintf("udp-checksum/off (%dB)", payload), Value: without, Note: "application-specific variant (§1.1)"},
+	}, nil
+}
+
+// GuardChainAblation measures UDP echo RTT with extra endpoints installed,
+// showing guard evaluation stays at procedure-call scale (the Openness
+// property: extensions do not tax each other).
+func GuardChainAblation(extraEndpoints []int) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, extra := range extraEndpoints {
+		n, client, server, err := plexus.TwoHosts(1, netdev.EthernetModel(),
+			hostSpec("client", SysPlexusInterrupt), hostSpec("server", SysPlexusInterrupt))
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < extra; i++ {
+			if _, err := server.OpenUDP(plexus.UDPAppOptions{Port: uint16(3000 + i)}, nil); err != nil {
+				return nil, err
+			}
+		}
+		var echo *plexus.UDPApp
+		echo, err = server.OpenUDP(plexus.UDPAppOptions{Port: 7}, func(t *sim.Task, data []byte, src view.IP4, srcPort uint16) {
+			_ = echo.Send(t, src, srcPort, data)
+		})
+		if err != nil {
+			return nil, err
+		}
+		var sentAt, gotAt sim.Time
+		capp, err := client.OpenUDP(plexus.UDPAppOptions{}, func(t *sim.Task, data []byte, src view.IP4, srcPort uint16) {
+			gotAt = t.Now()
+		})
+		if err != nil {
+			return nil, err
+		}
+		client.Spawn("client", func(t *sim.Task) {
+			sentAt = t.Now()
+			_ = capp.Send(t, server.Addr(), 7, make([]byte, 8))
+		})
+		n.Sim.RunUntil(10 * sim.Second)
+		if gotAt == 0 {
+			return nil, fmt.Errorf("bench: no echo with %d endpoints", extra)
+		}
+		rows = append(rows, AblationRow{
+			Name:  fmt.Sprintf("guard-chain/%d-extra-endpoints", extra),
+			Value: gotAt - sentAt,
+			Note:  "UDP 8B RTT",
+		})
+	}
+	return rows, nil
+}
+
+// FilterBackendAblation compares the two guard implementations of
+// internal/filter — native compiled closures (the typesafe-extension model)
+// versus the interpreted packet-filter VM (§3.5's alternative firewall
+// mechanism) — by installing `extra` rejecting filters of each kind on the
+// server's Ethernet.PacketRecv and measuring an 8-byte UDP echo RTT.
+func FilterBackendAblation(extra int) ([]AblationRow, error) {
+	run := func(interpreted bool) (sim.Time, error) {
+		n, client, server, err := plexus.TwoHosts(1, netdev.EthernetModel(),
+			hostSpec("client", SysPlexusInterrupt), hostSpec("server", SysPlexusInterrupt))
+		if err != nil {
+			return 0, err
+		}
+		// Rejecting filters: no UDP traffic in this experiment uses port
+		// 60000, so every filter evaluates and fails.
+		const src = "ip.proto == 17 && udp.dport == 60000"
+		for i := 0; i < extra; i++ {
+			var guard event.Guard
+			if interpreted {
+				prog, err := filter.CompileInterpreted(src, filter.BaseEthernet)
+				if err != nil {
+					return 0, err
+				}
+				guard = prog.Guard()
+			} else {
+				f, err := filter.Parse(src, filter.BaseEthernet)
+				if err != nil {
+					return 0, err
+				}
+				guard = f.Guard()
+			}
+			if _, err := server.Ether.InstallRecv(guard,
+				event.Ephemeral("filter-sink", func(t *sim.Task, m *mbuf.Mbuf) { m.Free() }), 0); err != nil {
+				return 0, err
+			}
+		}
+		var echo *plexus.UDPApp
+		echo, err = server.OpenUDP(plexus.UDPAppOptions{Port: 7}, func(t *sim.Task, data []byte, src view.IP4, srcPort uint16) {
+			_ = echo.Send(t, src, srcPort, data)
+		})
+		if err != nil {
+			return 0, err
+		}
+		var sentAt, gotAt sim.Time
+		capp, err := client.OpenUDP(plexus.UDPAppOptions{}, func(t *sim.Task, data []byte, src view.IP4, srcPort uint16) {
+			gotAt = t.Now()
+		})
+		if err != nil {
+			return 0, err
+		}
+		client.Spawn("client", func(t *sim.Task) {
+			sentAt = t.Now()
+			_ = capp.Send(t, server.Addr(), 7, make([]byte, 8))
+		})
+		n.Sim.RunUntil(10 * sim.Second)
+		if gotAt == 0 {
+			return 0, fmt.Errorf("bench: no echo with %d filters", extra)
+		}
+		return gotAt - sentAt, nil
+	}
+	native, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	interp, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return []AblationRow{
+		{Name: fmt.Sprintf("filter-backend/native×%d", extra), Value: native, Note: "compiled guards (typesafe extension)"},
+		{Name: fmt.Sprintf("filter-backend/interpreted×%d", extra), Value: interp, Note: "packet-filter VM (§3.5 alternative)"},
+	}, nil
+}
+
+// ILPAblation measures the video client's CPU with and without integrated
+// layer processing (paper §5.1: the client "is a good candidate for the
+// integrated layer processing optimizations suggested by Clark").
+func ILPAblation(streams int) ([]AblationRow, error) {
+	measure := func(ilp bool) (float64, error) {
+		n, err := plexus.NewNetwork(1, netdev.DECT3Model(), []plexus.HostSpec{
+			hostSpec("server", SysPlexusInterrupt),
+			{Name: "client", Personality: osmodel.SPIN},
+		})
+		if err != nil {
+			return 0, err
+		}
+		n.PrimeARP()
+		sv, cl := n.Hosts[0], n.Hosts[1]
+		srv, err := video.NewServer(sv, video.ServerConfig{})
+		if err != nil {
+			return 0, err
+		}
+		client, err := video.NewClient(cl, video.DefaultPort)
+		if err != nil {
+			return 0, err
+		}
+		client.ILP = ilp
+		for i := 0; i < streams; i++ {
+			srv.AddStream(view.IP4{224, 0, 1, byte(i + 1)})
+		}
+		cl.Host.CPU.MarkUtilization()
+		srv.Run(1 * sim.Second)
+		n.Sim.RunUntil(1 * sim.Second)
+		return cl.Host.CPU.Utilization(), nil
+	}
+	twoPass, err := measure(false)
+	if err != nil {
+		return nil, err
+	}
+	ilp, err := measure(true)
+	if err != nil {
+		return nil, err
+	}
+	toTime := func(u float64) sim.Time { return sim.Time(u * float64(sim.Second)) }
+	return []AblationRow{
+		{Name: fmt.Sprintf("video-client/two-pass (%d streams)", streams), Value: toTime(twoPass), Note: "CPU-seconds per second (utilization)"},
+		{Name: fmt.Sprintf("video-client/ILP (%d streams)", streams), Value: toTime(ilp), Note: "fused checksum+decompress+display [CT90]"},
+	}, nil
+}

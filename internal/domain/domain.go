@@ -1,0 +1,142 @@
+// Package domain reproduces SPIN's logical protection domains and dynamic
+// linker (paper §2, [SFPB96]).
+//
+// A logical protection domain is a set of visible interfaces: named symbols
+// bound to values (procedures, in practice). Extensions arrive as partially
+// resolved objects — a list of imported symbol names plus the symbols they
+// will export — and the linker resolves every import against the domain the
+// extension is being linked into. If any symbol cannot be resolved, the link
+// fails and the extension is rejected; this is the mechanism that keeps an
+// untrusted protocol extension from naming (and therefore calling) anything
+// outside the interfaces it was granted.
+//
+// Domains are first-class values referenced by ordinary Go pointers, the
+// analogue of the paper's "typesafe pointers (capabilities)": code that does
+// not hold a *Domain cannot link against it, and different extensions can be
+// handed different domains.
+package domain
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Symbol names an exported procedure or variable, conventionally
+// "Interface.Item" as in "Ethernet.PacketRecv".
+type Symbol string
+
+// Interface returns the interface component of the symbol ("Ethernet" for
+// "Ethernet.PacketRecv"), or the whole symbol if it has no dot.
+func (s Symbol) Interface() string {
+	if i := strings.IndexByte(string(s), '.'); i >= 0 {
+		return string(s[:i])
+	}
+	return string(s)
+}
+
+// Domain is a logical protection domain: a namespace of exported symbols.
+// Holding a *Domain is the capability to resolve and link against it.
+type Domain struct {
+	mu      sync.Mutex
+	name    string
+	symbols map[Symbol]any
+}
+
+// New creates an empty domain.
+func New(name string) *Domain {
+	return &Domain{name: name, symbols: make(map[Symbol]any)}
+}
+
+// Name returns the domain's diagnostic name.
+func (d *Domain) Name() string { return d.name }
+
+// Export binds sym to v in the domain. Exporting a symbol that already
+// exists fails: interfaces are immutable once published.
+func (d *Domain) Export(sym Symbol, v any) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.symbols[sym]; ok {
+		return fmt.Errorf("domain %s: symbol %q already exported", d.name, sym)
+	}
+	d.symbols[sym] = v
+	return nil
+}
+
+// MustExport is Export that panics on duplicate, for static setup code.
+func (d *Domain) MustExport(sym Symbol, v any) {
+	if err := d.Export(sym, v); err != nil {
+		panic(err)
+	}
+}
+
+// remove drops a symbol; used by Unlink.
+func (d *Domain) remove(sym Symbol) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.symbols, sym)
+}
+
+// Resolve looks up a symbol.
+func (d *Domain) Resolve(sym Symbol) (any, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	v, ok := d.symbols[sym]
+	return v, ok
+}
+
+// Symbols returns the domain's exported symbol names, sorted.
+func (d *Domain) Symbols() []Symbol {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]Symbol, 0, len(d.symbols))
+	for s := range d.symbols {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Copy returns a snapshot domain with the same bindings, corresponding to
+// SPIN's domain copy operation: the copy evolves independently.
+func (d *Domain) Copy(name string) *Domain {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	nd := New(name)
+	for s, v := range d.symbols {
+		nd.symbols[s] = v
+	}
+	return nd
+}
+
+// Combine returns a new domain holding the union of the given domains'
+// bindings. Conflicting bindings for the same symbol fail, mirroring a
+// link-time multiple-definition error.
+func Combine(name string, domains ...*Domain) (*Domain, error) {
+	nd := New(name)
+	for _, d := range domains {
+		d.mu.Lock()
+		for s, v := range d.symbols {
+			if have, ok := nd.symbols[s]; ok && !same(have, v) {
+				d.mu.Unlock()
+				return nil, fmt.Errorf("domain combine %s: conflicting definitions of %q", name, s)
+			}
+			nd.symbols[s] = v
+		}
+		d.mu.Unlock()
+	}
+	return nd, nil
+}
+
+// same reports best-effort identity for conflict detection. Functions are not
+// comparable in Go, so two distinct bindings of the same symbol always
+// conflict unless they are comparable and equal.
+func same(a, b any) bool {
+	type comparer interface{ Equal(any) bool }
+	if c, ok := a.(comparer); ok {
+		return c.Equal(b)
+	}
+	defer func() { recover() }() //nolint:errcheck // comparison of uncomparable types ⇒ not same
+	return a == b
+}

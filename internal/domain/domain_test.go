@@ -1,0 +1,245 @@
+package domain
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestSymbolInterface(t *testing.T) {
+	if Symbol("Ethernet.PacketRecv").Interface() != "Ethernet" {
+		t.Error("Interface() wrong for dotted symbol")
+	}
+	if Symbol("Bare").Interface() != "Bare" {
+		t.Error("Interface() wrong for bare symbol")
+	}
+}
+
+func TestExportResolve(t *testing.T) {
+	d := New("kernel")
+	if d.Name() != "kernel" {
+		t.Error("name lost")
+	}
+	fn := func() int { return 42 }
+	if err := d.Export("Mbuf.Alloc", fn); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := d.Resolve("Mbuf.Alloc")
+	if !ok {
+		t.Fatal("exported symbol did not resolve")
+	}
+	if v.(func() int)() != 42 {
+		t.Fatal("wrong value resolved")
+	}
+	if _, ok := d.Resolve("Mbuf.Free"); ok {
+		t.Fatal("unexported symbol resolved")
+	}
+}
+
+func TestDuplicateExportFails(t *testing.T) {
+	d := New("kernel")
+	if err := d.Export("X", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Export("X", 2); err == nil {
+		t.Fatal("duplicate export accepted")
+	}
+}
+
+func TestMustExportPanics(t *testing.T) {
+	d := New("kernel")
+	d.MustExport("X", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustExport on duplicate did not panic")
+		}
+	}()
+	d.MustExport("X", 2)
+}
+
+func TestSymbolsSorted(t *testing.T) {
+	d := New("k")
+	d.MustExport("B", 1)
+	d.MustExport("A", 1)
+	d.MustExport("C", 1)
+	got := d.Symbols()
+	if len(got) != 3 || got[0] != "A" || got[1] != "B" || got[2] != "C" {
+		t.Fatalf("Symbols = %v", got)
+	}
+}
+
+func TestCopyIsIndependent(t *testing.T) {
+	d := New("orig")
+	d.MustExport("X", 1)
+	c := d.Copy("copy")
+	c.MustExport("Y", 2)
+	if _, ok := d.Resolve("Y"); ok {
+		t.Fatal("copy mutation leaked into original")
+	}
+	if _, ok := c.Resolve("X"); !ok {
+		t.Fatal("copy missing original binding")
+	}
+}
+
+func TestCombine(t *testing.T) {
+	a := New("a")
+	a.MustExport("A.x", 1)
+	b := New("b")
+	b.MustExport("B.y", 2)
+	u, err := Combine("union", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := u.Resolve("A.x"); !ok {
+		t.Error("union missing A.x")
+	}
+	if _, ok := u.Resolve("B.y"); !ok {
+		t.Error("union missing B.y")
+	}
+}
+
+func TestCombineConflict(t *testing.T) {
+	a := New("a")
+	a.MustExport("X", 1)
+	b := New("b")
+	b.MustExport("X", 2)
+	if _, err := Combine("u", a, b); err == nil {
+		t.Fatal("conflicting combine accepted")
+	}
+	// Equal comparable values do not conflict.
+	c := New("c")
+	c.MustExport("X", 1)
+	if _, err := Combine("u", a, c); err != nil {
+		t.Fatalf("equal bindings rejected: %v", err)
+	}
+	// Uncomparable values (functions) always conflict.
+	f := New("f")
+	f.MustExport("F", func() {})
+	g := New("g")
+	g.MustExport("F", func() {})
+	if _, err := Combine("u", f, g); err == nil {
+		t.Fatal("conflicting function bindings accepted")
+	}
+}
+
+func TestLinkSuccess(t *testing.T) {
+	kernel := New("kernel")
+	kernel.MustExport("Mbuf.Alloc", "alloc")
+	kernel.MustExport("Ethernet.PacketRecv", "event")
+
+	var sawAlloc any
+	ext := &Extension{
+		Name:    "activemessages",
+		Imports: []Symbol{"Mbuf.Alloc", "Ethernet.PacketRecv"},
+		Exports: map[Symbol]any{"ActiveMessages.Handler": "h"},
+		Init: func(resolved map[Symbol]any) error {
+			sawAlloc = resolved["Mbuf.Alloc"]
+			return nil
+		},
+	}
+	l, err := Link(ext, kernel, kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sawAlloc != "alloc" {
+		t.Error("init did not receive resolved import")
+	}
+	if v, ok := l.Resolved("Mbuf.Alloc"); !ok || v != "alloc" {
+		t.Error("Resolved() lookup failed")
+	}
+	if l.Extension() != ext {
+		t.Error("Extension() accessor wrong")
+	}
+	if _, ok := kernel.Resolve("ActiveMessages.Handler"); !ok {
+		t.Fatal("export not installed after link")
+	}
+	if err := l.Unlink(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := kernel.Resolve("ActiveMessages.Handler"); ok {
+		t.Fatal("export still visible after unlink")
+	}
+	if err := l.Unlink(); err == nil {
+		t.Fatal("double unlink accepted")
+	}
+}
+
+// The core safety property: an extension referencing a symbol outside its
+// logical protection domain is rejected at link time (paper §2).
+func TestLinkRejectsUnresolved(t *testing.T) {
+	restricted := New("user-net")
+	restricted.MustExport("UDP.PacketSend", "ok")
+	ext := &Extension{
+		Name:    "snooper",
+		Imports: []Symbol{"UDP.PacketSend", "VM.MapKernelPage", "Sched.Preempt"},
+	}
+	_, err := Link(ext, restricted, restricted)
+	if err == nil {
+		t.Fatal("extension with out-of-domain imports linked")
+	}
+	var ue *UnresolvedError
+	if !errors.As(err, &ue) {
+		t.Fatalf("error type = %T, want *UnresolvedError", err)
+	}
+	if len(ue.Missing) != 2 {
+		t.Fatalf("Missing = %v, want 2 symbols", ue.Missing)
+	}
+	if ue.Missing[0] != "Sched.Preempt" || ue.Missing[1] != "VM.MapKernelPage" {
+		t.Fatalf("Missing not sorted: %v", ue.Missing)
+	}
+	msg := ue.Error()
+	if !strings.Contains(msg, "snooper") || !strings.Contains(msg, "VM.MapKernelPage") {
+		t.Errorf("error message uninformative: %q", msg)
+	}
+}
+
+// Different extensions can be given different domains: a privileged domain
+// resolves what a restricted one does not.
+func TestPerExtensionDomains(t *testing.T) {
+	full := New("kernel-full")
+	full.MustExport("Device.RawAccess", 1)
+	full.MustExport("Net.Send", 1)
+	restricted := full.Copy("kernel-restricted")
+	restricted.remove("Device.RawAccess")
+
+	ext := &Extension{Name: "driver", Imports: []Symbol{"Device.RawAccess"}}
+	if _, err := Link(ext, full, New("scratch")); err != nil {
+		t.Fatalf("privileged link failed: %v", err)
+	}
+	if _, err := Link(ext, restricted, New("scratch")); err == nil {
+		t.Fatal("restricted domain resolved a privileged symbol")
+	}
+}
+
+func TestLinkInitFailureAborts(t *testing.T) {
+	kernel := New("kernel")
+	ext := &Extension{
+		Name:    "bad",
+		Exports: map[Symbol]any{"Bad.X": 1},
+		Init:    func(map[Symbol]any) error { return errors.New("boom") },
+	}
+	if _, err := Link(ext, kernel, kernel); err == nil {
+		t.Fatal("failed init did not abort link")
+	}
+	if _, ok := kernel.Resolve("Bad.X"); ok {
+		t.Fatal("exports installed despite init failure")
+	}
+}
+
+func TestLinkExportConflictRollsBack(t *testing.T) {
+	kernel := New("kernel")
+	kernel.MustExport("Taken", 0)
+	ext := &Extension{
+		Name: "clasher",
+		Exports: map[Symbol]any{
+			"Taken": 1,
+			"Fresh": 2,
+		},
+	}
+	if _, err := Link(ext, kernel, kernel); err == nil {
+		t.Fatal("conflicting export accepted")
+	}
+	if _, ok := kernel.Resolve("Fresh"); ok {
+		t.Fatal("partial exports not rolled back")
+	}
+}

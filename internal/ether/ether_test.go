@@ -1,0 +1,129 @@
+package ether_test
+
+import (
+	"errors"
+	"testing"
+
+	"plexus/internal/ether"
+	"plexus/internal/event"
+	"plexus/internal/mbuf"
+	"plexus/internal/netdev"
+	"plexus/internal/osmodel"
+	"plexus/internal/plexus"
+	"plexus/internal/sim"
+	"plexus/internal/view"
+)
+
+func pair(t *testing.T, interrupt bool) (*plexus.Network, *plexus.Stack, *plexus.Stack) {
+	t.Helper()
+	dispatch := osmodel.DispatchInterrupt
+	if !interrupt {
+		dispatch = osmodel.DispatchThread
+	}
+	spec := func(name string) plexus.HostSpec {
+		return plexus.HostSpec{Name: name, Personality: osmodel.SPIN, Dispatch: dispatch}
+	}
+	n, a, b, err := plexus.TwoHosts(1, netdev.EthernetModel(), spec("a"), spec("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, a, b
+}
+
+func TestSendStampsSourceAddress(t *testing.T) {
+	n, a, b := pair(t, true)
+	var gotSrc view.MAC
+	if _, err := b.Ether.InstallRecv(ether.TypeGuard(0x8999),
+		event.Ephemeral("sink", func(task *sim.Task, m *mbuf.Mbuf) {
+			defer m.Free()
+			eth, err := view.Ethernet(m.Bytes())
+			if err == nil {
+				gotSrc = eth.Src()
+			}
+		}), 0); err != nil {
+		t.Fatal(err)
+	}
+	a.Spawn("send", func(task *sim.Task) {
+		m := a.Host.Pool.FromBytes([]byte("hi"), 32)
+		if err := a.Ether.Send(task, b.NIC.MAC(), 0x8999, m); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	})
+	n.Sim.Run()
+	// The source field is always overwritten with the interface address
+	// (anti-spoofing, §3.1), regardless of what the extension wrote.
+	if gotSrc != a.NIC.MAC() {
+		t.Fatalf("source = %v, want %v", gotSrc, a.NIC.MAC())
+	}
+}
+
+// Interrupt-mode stacks declare Ethernet.PacketRecv RequireEphemeral; the
+// manager rejects non-EPHEMERAL handlers (paper §3.3 / Figure 3).
+func TestManagerRejectsNonEphemeralAtInterruptLevel(t *testing.T) {
+	_, a, _ := pair(t, true)
+	_, err := a.Ether.InstallRecv(nil, event.Proc("NotEphemeral", func(*sim.Task, *mbuf.Mbuf) {}), 0)
+	if !errors.Is(err, event.ErrNotEphemeral) {
+		t.Fatalf("err = %v, want ErrNotEphemeral", err)
+	}
+	if _, err := a.Ether.InstallRecv(ether.TypeGuard(0x9000),
+		event.Ephemeral("GoodHandler", func(task *sim.Task, m *mbuf.Mbuf) { m.Free() }), 0); err != nil {
+		t.Fatalf("EPHEMERAL handler rejected: %v", err)
+	}
+}
+
+// Thread-mode stacks lift the restriction: handlers run on kernel threads.
+func TestThreadModeAcceptsNonEphemeral(t *testing.T) {
+	_, a, _ := pair(t, false)
+	if _, err := a.Ether.InstallRecv(ether.TypeGuard(0x9000),
+		event.Proc("NotEphemeral", func(task *sim.Task, m *mbuf.Mbuf) { m.Free() }), 0); err != nil {
+		t.Fatalf("thread-mode install rejected: %v", err)
+	}
+}
+
+func TestSendTapObservesFrames(t *testing.T) {
+	n, a, b := pair(t, true)
+	taps := 0
+	if _, err := a.Ether.InstallSendTap(nil, event.Proc("tap", func(task *sim.Task, m *mbuf.Mbuf) {
+		taps++ // observe only; do not free — the send path owns the frame
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.OpenUDP(plexus.UDPAppOptions{Port: 9}, nil); err != nil {
+		t.Fatal(err)
+	}
+	capp, err := a.OpenUDP(plexus.UDPAppOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Spawn("send", func(task *sim.Task) {
+		_ = capp.Send(task, b.Addr(), 9, []byte("x"))
+		_ = capp.Send(task, b.Addr(), 9, []byte("y"))
+	})
+	n.Sim.Run()
+	if taps != 2 {
+		t.Fatalf("tap saw %d frames, want 2", taps)
+	}
+}
+
+func TestTypeGuardRejectsShortFrames(t *testing.T) {
+	_, a, _ := pair(t, true)
+	g := ether.TypeGuard(0x0800)
+	m := a.Host.Pool.FromBytes([]byte{1, 2, 3}, 0)
+	defer m.Free()
+	if g(nil, m) {
+		t.Fatal("guard matched a 3-byte frame")
+	}
+}
+
+func TestLayerAccessors(t *testing.T) {
+	_, a, _ := pair(t, true)
+	if a.Ether.MTU() != 1500 {
+		t.Error("MTU wrong")
+	}
+	if a.Ether.MAC() != a.NIC.MAC() {
+		t.Error("MAC wrong")
+	}
+	if a.Ether.NIC() != a.NIC {
+		t.Error("NIC wrong")
+	}
+}

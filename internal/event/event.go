@@ -1,0 +1,281 @@
+// Package event reproduces SPIN's dynamic event dispatcher (paper §2), the
+// mechanism Plexus builds its protocol graph on.
+//
+// An event is declared like a procedure ("Ethernet.PacketRecv") and raised
+// like a call. Extensions install handlers on events; each handler may carry
+// a guard, an arbitrary predicate the dispatcher evaluates before invoking
+// the handler. Guards are how Plexus implements packet filters: a guard
+// inspects the packet and returns true only for packets its handler is
+// responsible for, both demultiplexing the protocol graph and preventing
+// snooping.
+//
+// The paper's EPHEMERAL attribute (§3.3) marks handlers safe to run at
+// interrupt level: they may be asynchronously terminated without damaging
+// state. Go has no compile-time effect system, so the attribute is carried on
+// the handler descriptor; events declared RequireEphemeral reject
+// non-ephemeral installs exactly as the paper's protocol managers do, and
+// per-binding time allotments are enforced by terminating (in simulation:
+// refunding and flagging) handlers that overrun.
+//
+// Dispatch cost is charged to the raising task: "the overhead of invoking
+// each handler is roughly one procedure call".
+package event
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"plexus/internal/mbuf"
+	"plexus/internal/sim"
+)
+
+// Name identifies an event, conventionally "Interface.Procedure".
+type Name string
+
+// Raiser abstracts how an event raise is performed. The Dispatcher raises
+// inline (handlers run in the raising task — the paper's interrupt-level
+// dispatch); a protocol stack may interpose thread handoff or a monolithic
+// kernel's softirq step between layers instead.
+type Raiser interface {
+	Raise(t *sim.Task, name Name, m *mbuf.Mbuf) int
+}
+
+// Guard is a packet-filter predicate evaluated before a handler is invoked.
+// Guards must be side-effect free; they run for every raise of the event.
+type Guard func(t *sim.Task, m *mbuf.Mbuf) bool
+
+// HandlerFunc is the procedure executed in response to an event.
+type HandlerFunc func(t *sim.Task, m *mbuf.Mbuf)
+
+// Handler is a handler procedure plus the attributes the dispatcher needs:
+// a diagnostic name and whether the procedure is EPHEMERAL.
+type Handler struct {
+	Name      string
+	Fn        HandlerFunc
+	Ephemeral bool
+}
+
+// Ephemeral builds an EPHEMERAL handler descriptor: one whose implementation
+// tolerates premature termination without violating invariants (paper
+// Figure 3). The caller asserts the property; the dispatcher enforces its
+// consequences.
+func Ephemeral(name string, fn HandlerFunc) Handler {
+	return Handler{Name: name, Fn: fn, Ephemeral: true}
+}
+
+// Proc builds an ordinary (non-ephemeral) handler descriptor.
+func Proc(name string, fn HandlerFunc) Handler {
+	return Handler{Name: name, Fn: fn}
+}
+
+// Options configure a declared event.
+type Options struct {
+	// RequireEphemeral makes the event reject non-EPHEMERAL handlers at
+	// install time. Events raised from interrupt context declare this.
+	RequireEphemeral bool
+}
+
+// Costs parameterize what raising an event charges the running task. The
+// defaults model SPIN's measured overheads: a guard evaluation and a handler
+// invocation each cost roughly a procedure call.
+type Costs struct {
+	GuardEval sim.Time // charged per guard evaluated
+	Invoke    sim.Time // charged per handler invoked
+}
+
+// DefaultCosts mirrors the paper's "roughly one procedure call" dispatch.
+func DefaultCosts() Costs {
+	return Costs{GuardEval: 200 * sim.Nanosecond, Invoke: 1 * sim.Microsecond}
+}
+
+// Errors returned by the dispatcher.
+var (
+	// ErrUnknownEvent reports a raise or install on an undeclared event.
+	ErrUnknownEvent = errors.New("event: unknown event")
+	// ErrNotEphemeral reports an attempt to install a non-EPHEMERAL handler
+	// on an event that requires one (paper §3.3: "the manager can reject
+	// the handler").
+	ErrNotEphemeral = errors.New("event: handler is not EPHEMERAL")
+	// ErrDuplicate reports a duplicate event declaration.
+	ErrDuplicate = errors.New("event: already declared")
+)
+
+// BindingStats counts a binding's dispatch activity.
+type BindingStats struct {
+	Invocations  uint64 // handler bodies run
+	GuardRejects uint64 // raises filtered out by the guard
+	Terminations uint64 // premature terminations for budget overrun
+}
+
+// Binding is one installed (guard, handler) pair; the handle for uninstall.
+type Binding struct {
+	event     *eventState
+	guard     Guard
+	handler   Handler
+	allotment sim.Time // 0 = unlimited
+	removed   bool
+	stats     BindingStats
+}
+
+// Stats returns a snapshot of the binding's counters.
+func (b *Binding) Stats() BindingStats { return b.stats }
+
+// Handler returns the installed handler descriptor.
+func (b *Binding) Handler() Handler { return b.handler }
+
+// Allotment returns the per-invocation time budget (0 = unlimited).
+func (b *Binding) Allotment() sim.Time { return b.allotment }
+
+type eventState struct {
+	name     Name
+	opts     Options
+	bindings []*Binding
+	raises   uint64
+}
+
+// Dispatcher routes raised events to installed handlers.
+type Dispatcher struct {
+	costs  Costs
+	events map[Name]*eventState
+	// raiseDepth guards against accidental unbounded event recursion in a
+	// misbuilt protocol graph.
+	raiseDepth int32
+}
+
+// maxRaiseDepth bounds protocol-graph recursion; real stacks are ~6 deep.
+const maxRaiseDepth = 64
+
+// NewDispatcher creates a dispatcher with the given cost model.
+func NewDispatcher(costs Costs) *Dispatcher {
+	return &Dispatcher{costs: costs, events: make(map[Name]*eventState)}
+}
+
+// Declare registers an event name. Redeclaration fails.
+func (d *Dispatcher) Declare(name Name, opts Options) error {
+	if _, ok := d.events[name]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicate, name)
+	}
+	d.events[name] = &eventState{name: name, opts: opts}
+	return nil
+}
+
+// MustDeclare is Declare that panics on error, for static graph setup.
+func (d *Dispatcher) MustDeclare(name Name, opts Options) {
+	if err := d.Declare(name, opts); err != nil {
+		panic(err)
+	}
+}
+
+// Declared reports whether name has been declared.
+func (d *Dispatcher) Declared(name Name) bool {
+	_, ok := d.events[name]
+	return ok
+}
+
+// Install attaches a handler (with optional guard; nil matches everything)
+// to an event. allotment, if nonzero, is the EPHEMERAL time budget per
+// invocation. Installation order is dispatch order.
+func (d *Dispatcher) Install(name Name, guard Guard, h Handler, allotment sim.Time) (*Binding, error) {
+	ev, ok := d.events[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownEvent, name)
+	}
+	if ev.opts.RequireEphemeral && !h.Ephemeral {
+		return nil, fmt.Errorf("%w: %s on %s", ErrNotEphemeral, h.Name, name)
+	}
+	if h.Fn == nil {
+		return nil, fmt.Errorf("event: nil handler %q on %s", h.Name, name)
+	}
+	b := &Binding{event: ev, guard: guard, handler: h, allotment: allotment}
+	ev.bindings = append(ev.bindings, b)
+	return b, nil
+}
+
+// Uninstall detaches a binding. Detaching twice is a no-op returning false.
+func (d *Dispatcher) Uninstall(b *Binding) bool {
+	if b == nil || b.removed {
+		return false
+	}
+	b.removed = true
+	ev := b.event
+	for i, x := range ev.bindings {
+		if x == b {
+			ev.bindings = append(ev.bindings[:i], ev.bindings[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// HandlerCount reports the number of handlers installed on an event.
+func (d *Dispatcher) HandlerCount(name Name) int {
+	if ev, ok := d.events[name]; ok {
+		return len(ev.bindings)
+	}
+	return 0
+}
+
+// Raises reports how many times an event has been raised.
+func (d *Dispatcher) Raises(name Name) uint64 {
+	if ev, ok := d.events[name]; ok {
+		return ev.raises
+	}
+	return 0
+}
+
+// Raise announces the event to every installed handler whose guard accepts
+// the packet, charging the raising task per the cost model. It returns the
+// number of handlers invoked. Raising an undeclared event panics: in SPIN
+// only code linked against the event's interface can name it, so an unknown
+// name is a programming error, not a runtime condition.
+func (d *Dispatcher) Raise(t *sim.Task, name Name, m *mbuf.Mbuf) int {
+	ev, ok := d.events[name]
+	if !ok {
+		panic(fmt.Sprintf("event: raise of undeclared event %s", name))
+	}
+	if atomic.AddInt32(&d.raiseDepth, 1) > maxRaiseDepth {
+		panic(fmt.Sprintf("event: raise depth exceeds %d (cycle in protocol graph?) at %s", maxRaiseDepth, name))
+	}
+	defer atomic.AddInt32(&d.raiseDepth, -1)
+	ev.raises++
+	invoked := 0
+	// Snapshot: handlers installed/removed during dispatch take effect on
+	// the next raise, matching SPIN's install semantics.
+	bindings := append([]*Binding(nil), ev.bindings...)
+	// Dispatch is two-phase: every guard is evaluated against the intact
+	// packet first, then the matching handlers run. A handler may consume
+	// the packet (strip headers, free it), which must not corrupt the
+	// view later guards see.
+	matched := bindings[:0]
+	for _, b := range bindings {
+		if b.removed {
+			continue
+		}
+		if b.guard != nil {
+			t.Charge(d.costs.GuardEval)
+			if !b.guard(t, m) {
+				b.stats.GuardRejects++
+				continue
+			}
+		}
+		matched = append(matched, b)
+	}
+	for _, b := range matched {
+		t.Charge(d.costs.Invoke)
+		before := t.Charged()
+		b.handler.Fn(t, m)
+		consumed := t.Charged() - before
+		if b.allotment > 0 && consumed > b.allotment {
+			// Premature termination: the handler stopped at its
+			// allotment; CPU time beyond it was never consumed.
+			t.Refund(consumed - b.allotment)
+			t.Sim().Tracef(sim.TraceEvent, "%s: handler %s terminated after %v (allotment %v)",
+				name, b.handler.Name, consumed, b.allotment)
+			b.stats.Terminations++
+		}
+		b.stats.Invocations++
+		invoked++
+	}
+	return invoked
+}

@@ -1,0 +1,280 @@
+package filter
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The expression grammar, parsed by recursive descent:
+//
+//	expr   := or
+//	or     := and { "||" and }
+//	and    := unary { "&&" unary }
+//	unary  := "!" unary | "(" expr ")" | cmp
+//	cmp    := field [ op value ]
+//	op     := "==" | "!=" | "<" | ">" | "<=" | ">="
+//	value  := integer | hex integer | dotted-quad IPv4 address
+//	field  := identifier "." identifier
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokField
+	tokNumber
+	tokOp     // comparison
+	tokAndAnd // &&
+	tokOrOr   // ||
+	tokNot    // !
+	tokLParen
+	tokRParen
+)
+
+type token struct {
+	kind tokKind
+	text string
+	val  uint32
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			l.pos++
+		case c == '(':
+			l.emit(tokLParen, "(")
+		case c == ')':
+			l.emit(tokRParen, ")")
+		case c == '&':
+			if !l.pair('&') {
+				return nil, fmt.Errorf("filter: expected && at %d", l.pos)
+			}
+			l.toks = append(l.toks, token{kind: tokAndAnd, text: "&&", pos: l.pos - 2})
+		case c == '|':
+			if !l.pair('|') {
+				return nil, fmt.Errorf("filter: expected || at %d", l.pos)
+			}
+			l.toks = append(l.toks, token{kind: tokOrOr, text: "||", pos: l.pos - 2})
+		case c == '!':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+				l.toks = append(l.toks, token{kind: tokOp, text: "!=", pos: l.pos})
+				l.pos += 2
+			} else {
+				l.emit(tokNot, "!")
+			}
+		case c == '=' || c == '<' || c == '>':
+			start := l.pos
+			op := string(c)
+			l.pos++
+			if l.pos < len(l.src) && l.src[l.pos] == '=' {
+				op += "="
+				l.pos++
+			}
+			if op == "=" {
+				return nil, fmt.Errorf("filter: single '=' at %d (use ==)", start)
+			}
+			l.toks = append(l.toks, token{kind: tokOp, text: op, pos: start})
+		case c >= '0' && c <= '9':
+			if err := l.number(); err != nil {
+				return nil, err
+			}
+		case isIdentStart(c):
+			l.ident()
+		default:
+			return nil, fmt.Errorf("filter: unexpected character %q at %d", c, l.pos)
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+func (l *lexer) emit(k tokKind, text string) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: l.pos})
+	l.pos += len(text)
+}
+
+func (l *lexer) pair(c byte) bool {
+	if l.pos+1 < len(l.src) && l.src[l.pos+1] == c {
+		l.pos += 2
+		return true
+	}
+	return false
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+func isIdent(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9' || c == '.'
+}
+
+// number lexes an integer, hex integer, or dotted-quad address.
+func (l *lexer) number() error {
+	start := l.pos
+	for l.pos < len(l.src) && (isIdent(l.src[l.pos]) || l.src[l.pos] == 'x') {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	if strings.Count(text, ".") == 3 {
+		parts := strings.Split(text, ".")
+		var v uint32
+		for _, p := range parts {
+			n, err := strconv.ParseUint(p, 10, 8)
+			if err != nil {
+				return fmt.Errorf("filter: bad address %q at %d", text, start)
+			}
+			v = v<<8 | uint32(n)
+		}
+		l.toks = append(l.toks, token{kind: tokNumber, text: text, val: v, pos: start})
+		return nil
+	}
+	n, err := strconv.ParseUint(text, 0, 32)
+	if err != nil {
+		return fmt.Errorf("filter: bad number %q at %d", text, start)
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: text, val: uint32(n), pos: start})
+	return nil
+}
+
+func (l *lexer) ident() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdent(l.src[l.pos]) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokField, text: l.src[start:l.pos], pos: start})
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func parse(src string) (Node, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	n, err := p.or()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("filter: trailing input at %d", p.peek().pos)
+	}
+	return n, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) or() (Node, error) {
+	l, err := p.and()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOrOr {
+		p.next()
+		r, err := p.and()
+		if err != nil {
+			return nil, err
+		}
+		l = &boolNode{op: OpOr, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) and() (Node, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokAndAnd {
+		p.next()
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = &boolNode{op: OpAnd, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unary() (Node, error) {
+	switch p.peek().kind {
+	case tokNot:
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &notNode{x: x}, nil
+	case tokLParen:
+		p.next()
+		x, err := p.or()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokRParen {
+			return nil, fmt.Errorf("filter: missing ) at %d", p.peek().pos)
+		}
+		p.next()
+		return x, nil
+	}
+	return p.cmp()
+}
+
+func (p *parser) cmp() (Node, error) {
+	t := p.next()
+	if t.kind != tokField {
+		return nil, fmt.Errorf("filter: expected field at %d, got %q", t.pos, t.text)
+	}
+	field, ok := fieldNames[t.text]
+	if !ok {
+		return nil, fmt.Errorf("filter: unknown field %q at %d", t.text, t.pos)
+	}
+	proto := fieldProto(t.text)
+	if p.peek().kind != tokOp {
+		// Bare field: truthiness (e.g. `ip.frag`).
+		return &fieldTruth{fieldName: t.text, field: field, proto: proto}, nil
+	}
+	opTok := p.next()
+	var op Op
+	switch opTok.text {
+	case "==":
+		op = OpEq
+	case "!=":
+		op = OpNe
+	case "<":
+		op = OpLt
+	case ">":
+		op = OpGt
+	case "<=":
+		op = OpLe
+	case ">=":
+		op = OpGe
+	default:
+		return nil, fmt.Errorf("filter: bad operator %q at %d", opTok.text, opTok.pos)
+	}
+	v := p.next()
+	if v.kind != tokNumber {
+		return nil, fmt.Errorf("filter: expected value at %d, got %q", v.pos, v.text)
+	}
+	return &cmpNode{fieldName: t.text, field: field, proto: proto, op: op, value: v.val}, nil
+}

@@ -1,0 +1,198 @@
+// Package httpx implements a minimal HTTP/1.0 server and client over the
+// reproduction's own TCP — the protocol the paper's concluding demo serves
+// ("A demonstration of the protocol stack as it services HTTP requests").
+// On a SPIN host the server is an in-kernel extension; on a monolithic host
+// it is an ordinary user process; the same handler code runs either way.
+package httpx
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"plexus/internal/plexus"
+	"plexus/internal/sim"
+	"plexus/internal/view"
+)
+
+// Request is a parsed HTTP request line plus headers.
+type Request struct {
+	Method  string
+	Path    string
+	Proto   string
+	Headers map[string]string
+}
+
+// Response is what a handler returns.
+type Response struct {
+	Status int
+	Body   []byte
+	// ContentType defaults to text/plain.
+	ContentType string
+}
+
+// HandlerFunc serves one request.
+type HandlerFunc func(t *sim.Task, req *Request) Response
+
+// ServerStats counts server activity.
+type ServerStats struct {
+	Requests    uint64
+	BadRequests uint64
+	BytesOut    uint64
+}
+
+// Server is an HTTP/1.0 server bound to a port on one host.
+type Server struct {
+	st      *plexus.Stack
+	handler HandlerFunc
+	stats   ServerStats
+}
+
+// statusText covers the statuses the reproduction emits.
+func statusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 400:
+		return "Bad Request"
+	case 404:
+		return "Not Found"
+	case 500:
+		return "Internal Server Error"
+	default:
+		return "Status"
+	}
+}
+
+// Serve starts an HTTP server on port with the given handler.
+func Serve(st *plexus.Stack, port uint16, handler HandlerFunc) (*Server, error) {
+	s := &Server{st: st, handler: handler}
+	_, err := st.ListenTCP(port, plexus.TCPAppOptions{}, func(t *sim.Task, conn *plexus.TCPApp) {
+		var buf []byte
+		opts := conn.Options()
+		opts.OnRecv = func(t2 *sim.Task, c *plexus.TCPApp, data []byte) {
+			buf = append(buf, data...)
+			if idx := strings.Index(string(buf), "\r\n\r\n"); idx >= 0 {
+				s.respond(t2, c, buf[:idx])
+				buf = nil
+			}
+		}
+		opts.OnPeerFin = func(t2 *sim.Task, c *plexus.TCPApp) { c.Close(t2) }
+		conn.SetOptions(opts)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("httpx: %w", err)
+	}
+	return s, nil
+}
+
+// Stats returns a snapshot of counters.
+func (s *Server) Stats() ServerStats { return s.stats }
+
+func (s *Server) respond(t *sim.Task, c *plexus.TCPApp, head []byte) {
+	req, err := parseRequest(string(head))
+	var resp Response
+	if err != nil {
+		s.stats.BadRequests++
+		resp = Response{Status: 400, Body: []byte(err.Error() + "\n")}
+	} else {
+		s.stats.Requests++
+		resp = s.handler(t, req)
+	}
+	if resp.ContentType == "" {
+		resp.ContentType = "text/plain"
+	}
+	out := fmt.Sprintf("HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\r\n",
+		resp.Status, statusText(resp.Status), resp.ContentType, len(resp.Body))
+	payload := append([]byte(out), resp.Body...)
+	s.stats.BytesOut += uint64(len(payload))
+	_ = c.Send(t, payload)
+	c.Close(t) // HTTP/1.0: one request per connection
+}
+
+func parseRequest(head string) (*Request, error) {
+	lines := strings.Split(head, "\r\n")
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("httpx: empty request")
+	}
+	parts := strings.Fields(lines[0])
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("httpx: malformed request line %q", lines[0])
+	}
+	req := &Request{Method: parts[0], Path: parts[1], Proto: parts[2], Headers: map[string]string{}}
+	for _, l := range lines[1:] {
+		if l == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(l, ":")
+		if !ok {
+			return nil, fmt.Errorf("httpx: malformed header %q", l)
+		}
+		req.Headers[strings.ToLower(strings.TrimSpace(k))] = strings.TrimSpace(v)
+	}
+	return req, nil
+}
+
+// Result is a fetched response.
+type Result struct {
+	Status  int
+	Headers map[string]string
+	Body    []byte
+	// Latency is request-sent to response-complete.
+	Latency sim.Time
+}
+
+// Get issues an HTTP/1.0 GET from the client host and delivers the parsed
+// result to done when the server closes the connection.
+func Get(t *sim.Task, client *plexus.Stack, server view.IP4, port uint16, path string, done func(t *sim.Task, r Result, err error)) error {
+	var raw []byte
+	var started sim.Time
+	_, err := client.ConnectTCP(t, server, port, plexus.TCPAppOptions{
+		OnEstablished: func(t2 *sim.Task, conn *plexus.TCPApp) {
+			started = t2.Now()
+			req := fmt.Sprintf("GET %s HTTP/1.0\r\nHost: %s\r\n\r\n", path, server)
+			_ = conn.Send(t2, []byte(req))
+		},
+		OnRecv: func(t2 *sim.Task, conn *plexus.TCPApp, data []byte) {
+			raw = append(raw, data...)
+		},
+		OnPeerFin: func(t2 *sim.Task, conn *plexus.TCPApp) {
+			conn.Close(t2)
+			r, perr := parseResponse(raw)
+			r.Latency = t2.Now() - started
+			done(t2, r, perr)
+		},
+	})
+	return err
+}
+
+func parseResponse(raw []byte) (Result, error) {
+	s := string(raw)
+	idx := strings.Index(s, "\r\n\r\n")
+	if idx < 0 {
+		return Result{}, fmt.Errorf("httpx: truncated response")
+	}
+	head, body := s[:idx], raw[idx+4:]
+	lines := strings.Split(head, "\r\n")
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+		return Result{}, fmt.Errorf("httpx: malformed status line %q", lines[0])
+	}
+	code, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return Result{}, fmt.Errorf("httpx: bad status %q", parts[1])
+	}
+	r := Result{Status: code, Headers: map[string]string{}, Body: body}
+	for _, l := range lines[1:] {
+		if k, v, ok := strings.Cut(l, ":"); ok {
+			r.Headers[strings.ToLower(strings.TrimSpace(k))] = strings.TrimSpace(v)
+		}
+	}
+	if cl, ok := r.Headers["content-length"]; ok {
+		want, err := strconv.Atoi(cl)
+		if err == nil && want != len(body) {
+			return r, fmt.Errorf("httpx: body length %d != Content-Length %d", len(body), want)
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,346 @@
+// Package ip implements the IPv4 node of the Plexus protocol graph: header
+// construction and validation, the Internet checksum over mbuf chains,
+// fragmentation and reassembly, and a small host routing table (on-link
+// destinations plus a default gateway).
+//
+// On receive, the layer installs a guard (EtherType == IPv4) and handler on
+// Ethernet.PacketRecv; the handler validates the datagram and raises
+// IP.PacketRecv with the IP header still intact, so that the next layer's
+// guards can demultiplex on the protocol field and transport guards can see
+// addresses — exactly the decision-tree structure of the paper's Figure 1.
+package ip
+
+import (
+	"errors"
+	"fmt"
+
+	"plexus/internal/arp"
+	"plexus/internal/ether"
+	"plexus/internal/event"
+	"plexus/internal/mbuf"
+	"plexus/internal/osmodel"
+	"plexus/internal/sim"
+	"plexus/internal/view"
+)
+
+// RecvEvent carries validated IPv4 datagrams (header intact) up the graph.
+const RecvEvent event.Name = "IP.PacketRecv"
+
+// SendEvent is raised (when observed) for every outgoing datagram.
+const SendEvent event.Name = "IP.PacketSend"
+
+// DefaultTTL is the initial time-to-live for locally originated datagrams.
+const DefaultTTL = 64
+
+// ReassemblyTimeout discards incomplete fragment sets.
+const ReassemblyTimeout = 30 * sim.Second
+
+// Errors.
+var (
+	// ErrNoRoute reports a destination with no on-link route or gateway.
+	ErrNoRoute = errors.New("ip: no route to host")
+	// ErrTooBig reports a datagram that cannot be fragmented (DF set or
+	// fragment would be invalid).
+	ErrTooBig = errors.New("ip: datagram too large")
+)
+
+// Stats counts IP activity.
+type Stats struct {
+	Sent          uint64
+	Received      uint64
+	Delivered     uint64
+	BadChecksum   uint64
+	BadHeader     uint64
+	NotForUs      uint64
+	FragmentsSent uint64
+	FragmentsRcvd uint64
+	Reassembled   uint64
+	ReasmTimeouts uint64
+	TTLExpired    uint64
+}
+
+// Layer is the IPv4 protocol node for one interface.
+type Layer struct {
+	sim   *sim.Sim
+	eth   *ether.Layer
+	arp   *arp.ARP
+	disp  *event.Dispatcher
+	pool  *mbuf.Pool
+	costs osmodel.Costs
+
+	addr view.IP4
+	mask view.IP4
+	gw   view.IP4 // zero = no gateway
+
+	ident uint16
+	reasm map[reasmKey]*reasmBuf
+	stats Stats
+
+	// VerifyRxChecksum controls software verification of the header
+	// checksum on receive (on by default; an ablation disables it).
+	VerifyRxChecksum bool
+}
+
+// Config wires a Layer.
+type Config struct {
+	Sim   *sim.Sim
+	Ether *ether.Layer
+	ARP   *arp.ARP
+	Disp  *event.Dispatcher
+	Pool  *mbuf.Pool
+	Costs osmodel.Costs
+	Addr  view.IP4
+	Mask  view.IP4
+	// Gateway, if nonzero, routes off-link destinations.
+	Gateway view.IP4
+}
+
+// New creates the IP node, declares IP.PacketRecv/IP.PacketSend, and installs
+// the layer's guard/handler pair on Ethernet.PacketRecv.
+func New(cfg Config) (*Layer, error) {
+	l := &Layer{
+		sim:              cfg.Sim,
+		eth:              cfg.Ether,
+		arp:              cfg.ARP,
+		disp:             cfg.Disp,
+		pool:             cfg.Pool,
+		costs:            cfg.Costs,
+		addr:             cfg.Addr,
+		mask:             cfg.Mask,
+		gw:               cfg.Gateway,
+		reasm:            make(map[reasmKey]*reasmBuf),
+		VerifyRxChecksum: true,
+	}
+	if err := cfg.Disp.Declare(RecvEvent, event.Options{}); err != nil {
+		return nil, err
+	}
+	if err := cfg.Disp.Declare(SendEvent, event.Options{}); err != nil {
+		return nil, err
+	}
+	_, err := cfg.Ether.InstallRecv(
+		ether.TypeGuard(view.EtherTypeIPv4),
+		event.Ephemeral("ip.input", l.input),
+		0,
+	)
+	if err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Addr returns the interface's IP address.
+func (l *Layer) Addr() view.IP4 { return l.addr }
+
+// Stats returns a snapshot of counters.
+func (l *Layer) Stats() Stats { return l.stats }
+
+// MTU returns the layer's maximum datagram size (link MTU).
+func (l *Layer) MTU() int { return l.eth.MTU() }
+
+// ChecksumChain folds bytes [off, off+n) of packet m into a.
+func ChecksumChain(a *view.Accum, m *mbuf.Mbuf, off, n int) error {
+	if off < 0 || n < 0 || off+n > m.PktLen() {
+		return mbuf.ErrRange
+	}
+	for mm := m; mm != nil && n > 0; mm = mm.Next() {
+		if off >= mm.Len() {
+			off -= mm.Len()
+			continue
+		}
+		b := mm.Bytes()[off:]
+		if len(b) > n {
+			b = b[:n]
+		}
+		a.Add(b)
+		n -= len(b)
+		off = 0
+	}
+	return nil
+}
+
+// onLink reports whether dst is directly reachable.
+func (l *Layer) onLink(dst view.IP4) bool {
+	for i := range dst {
+		if dst[i]&l.mask[i] != l.addr[i]&l.mask[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// nextHop selects the neighbour to forward dst through.
+func (l *Layer) nextHop(dst view.IP4) (view.IP4, error) {
+	if dst.IsBroadcast() || dst.IsMulticast() || l.onLink(dst) {
+		return dst, nil
+	}
+	if l.gw != (view.IP4{}) {
+		return l.gw, nil
+	}
+	return view.IP4{}, fmt.Errorf("%w: %v", ErrNoRoute, dst)
+}
+
+// Send transmits payload m (consumed) as an IPv4 datagram from src to dst.
+// A zero src is overwritten with the interface address (the anti-spoofing
+// "overwrite" policy); transports that verify instead pass an explicit src
+// which must equal the interface address.
+func (l *Layer) Send(t *sim.Task, src, dst view.IP4, proto uint8, m *mbuf.Mbuf) error {
+	t.Charge(l.costs.IPProc)
+	if src == (view.IP4{}) {
+		src = l.addr
+	} else if src != l.addr {
+		m.Free()
+		return fmt.Errorf("ip: spoofed source %v (interface is %v)", src, l.addr)
+	}
+	nh, err := l.nextHop(dst)
+	if err != nil {
+		m.Free()
+		return err
+	}
+	mtu := l.eth.MTU()
+	l.ident++
+	id := l.ident
+	if view.IPv4MinHdrLen+m.PktLen() <= mtu {
+		return l.sendFragment(t, src, dst, proto, id, 0, false, m, nh)
+	}
+	// Fragment: each piece carries a copy of the payload slice.
+	l.stats.FragmentsSent++ // counts fragmented datagrams
+	maxPayload := (mtu - view.IPv4MinHdrLen) &^ 7
+	total := m.PktLen()
+	for off := 0; off < total; off += maxPayload {
+		n := maxPayload
+		last := false
+		if off+n >= total {
+			n = total - off
+			last = true
+		}
+		part, err := m.CopyData(off, n)
+		if err != nil {
+			m.Free()
+			return err
+		}
+		t.ChargeBytes(n, l.costs.RAMPerByte)
+		frag := l.pool.FromBytes(part, 64)
+		if err := l.sendFragment(t, src, dst, proto, id, off, !last, frag, nh); err != nil {
+			m.Free()
+			return err
+		}
+	}
+	m.Free()
+	return nil
+}
+
+// sendFragment prepends and fills one IP header and hands the result to ARP.
+func (l *Layer) sendFragment(t *sim.Task, src, dst view.IP4, proto uint8, id uint16, fragOff int, more bool, m *mbuf.Mbuf, nextHop view.IP4) error {
+	dm, err := m.Prepend(view.IPv4MinHdrLen)
+	if err != nil {
+		m.Free()
+		return fmt.Errorf("ip: %w", err)
+	}
+	b, err := dm.MutableBytes()
+	if err != nil {
+		dm.Free()
+		return fmt.Errorf("ip: %w", err)
+	}
+	raw := b[:view.IPv4MinHdrLen]
+	raw[0] = 0x45 // version 4, IHL 5
+	v, err := view.IPv4(raw)
+	if err != nil {
+		dm.Free()
+		return err
+	}
+	v.SetTOS(0)
+	v.SetTotalLen(dm.PktLen())
+	v.SetID(id)
+	flags := uint16(0)
+	if more {
+		flags |= view.IPFlagMF
+	}
+	v.SetFlagsFrag(flags, fragOff)
+	v.SetTTL(DefaultTTL)
+	v.SetProto(proto)
+	v.SetSrc(src)
+	v.SetDst(dst)
+	v.ComputeChecksum()
+	t.ChargeBytes(view.IPv4MinHdrLen, l.costs.ChecksumPerByte)
+	l.stats.Sent++
+	if l.disp.HandlerCount(SendEvent) > 0 {
+		l.eth.Raise(t, SendEvent, dm)
+	}
+	return l.arp.Send(t, nextHop, view.EtherTypeIPv4, dm)
+}
+
+// Forward transmits an already-formed IPv4 datagram m (consumed; header at
+// offset 0). The in-kernel packet forwarder uses this after rewriting
+// addresses: the datagram re-enters the graph below IP, exactly as a
+// redirected packet should.
+func (l *Layer) Forward(t *sim.Task, m *mbuf.Mbuf) error {
+	t.Charge(l.costs.IPProc)
+	v, err := view.IPv4(m.Bytes())
+	if err != nil {
+		m.Free()
+		return err
+	}
+	nh, err := l.nextHop(v.Dst())
+	if err != nil {
+		m.Free()
+		return err
+	}
+	l.stats.Sent++
+	return l.arp.Send(t, nh, view.EtherTypeIPv4, m)
+}
+
+// input is the guard-selected handler on Ethernet.PacketRecv: validate the
+// datagram, reassemble fragments, and raise IP.PacketRecv.
+func (l *Layer) input(t *sim.Task, m *mbuf.Mbuf) {
+	t.Charge(l.costs.IPProc)
+	l.stats.Received++
+	m.Adj(view.EthernetHdrLen) // strip link header; window op, legal on read-only chains
+	dm, err := m.Pullup(min(m.PktLen(), view.IPv4MinHdrLen))
+	if err != nil {
+		l.stats.BadHeader++
+		m.Free()
+		return
+	}
+	m = dm
+	v, err := view.IPv4(m.Bytes())
+	if err != nil {
+		l.stats.BadHeader++
+		m.Free()
+		return
+	}
+	if v.TotalLen() > m.PktLen() || v.TotalLen() < v.HdrLen() {
+		l.stats.BadHeader++
+		m.Free()
+		return
+	}
+	// Trim link-layer padding (minimum-size Ethernet frames).
+	if m.PktLen() > v.TotalLen() {
+		m.Adj(v.TotalLen() - m.PktLen())
+	}
+	if l.VerifyRxChecksum {
+		t.ChargeBytes(v.HdrLen(), l.costs.ChecksumPerByte)
+		if !v.VerifyChecksum() {
+			l.stats.BadChecksum++
+			m.Free()
+			return
+		}
+	}
+	dst := v.Dst()
+	if dst != l.addr && !dst.IsBroadcast() && !dst.IsMulticast() {
+		l.stats.NotForUs++
+		m.Free()
+		return
+	}
+	if v.MoreFragments() || v.FragOffset() > 0 {
+		l.stats.FragmentsRcvd++
+		m = l.reassemble(t, v, m)
+		if m == nil {
+			return // incomplete
+		}
+	}
+	l.stats.Delivered++
+	if l.eth.Raise(t, RecvEvent, m) == 0 {
+		l.sim.Tracef(sim.TraceProto, "ip: datagram proto=%d with no handler", v.Proto())
+		m.Free()
+	}
+}

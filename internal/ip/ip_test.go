@@ -1,0 +1,313 @@
+package ip_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"plexus/internal/ip"
+	"plexus/internal/mbuf"
+	"plexus/internal/netdev"
+	"plexus/internal/osmodel"
+	"plexus/internal/plexus"
+	"plexus/internal/sim"
+	"plexus/internal/view"
+)
+
+func spin(name string) plexus.HostSpec {
+	return plexus.HostSpec{Name: name, Personality: osmodel.SPIN, Dispatch: osmodel.DispatchInterrupt}
+}
+
+func pair(t *testing.T) (*plexus.Network, *plexus.Stack, *plexus.Stack) {
+	t.Helper()
+	n, a, b, err := plexus.TwoHosts(1, netdev.EthernetModel(), spin("a"), spin("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, a, b
+}
+
+// Property: ChecksumChain over any chain chunking equals the flat checksum.
+func TestQuickChecksumChainMatchesFlat(t *testing.T) {
+	f := func(data []byte, offRaw, nRaw uint16, headroom uint8) bool {
+		pool := mbuf.NewPool()
+		m := pool.FromBytes(data, int(headroom)%64)
+		defer m.Free()
+		if len(data) == 0 {
+			return true
+		}
+		off := int(offRaw) % len(data)
+		n := int(nRaw) % (len(data) - off + 1)
+		var a view.Accum
+		if err := ip.ChecksumChain(&a, m, off, n); err != nil {
+			return false
+		}
+		want := view.Checksum(data[off : off+n])
+		return a.Fold() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChecksumChainRangeErrors(t *testing.T) {
+	pool := mbuf.NewPool()
+	m := pool.FromBytes(make([]byte, 100), 0)
+	defer m.Free()
+	var a view.Accum
+	if err := ip.ChecksumChain(&a, m, -1, 10); !errors.Is(err, mbuf.ErrRange) {
+		t.Error("negative offset accepted")
+	}
+	if err := ip.ChecksumChain(&a, m, 0, 101); !errors.Is(err, mbuf.ErrRange) {
+		t.Error("overlong range accepted")
+	}
+}
+
+func TestNoRouteOffSubnet(t *testing.T) {
+	n, a, _ := pair(t)
+	var sendErr error
+	a.Spawn("send", func(task *sim.Task) {
+		m := a.Host.Pool.FromBytes([]byte("x"), 64)
+		sendErr = a.IP.Send(task, view.IP4{}, view.IP4{192, 168, 99, 1}, view.IPProtoUDP, m)
+	})
+	n.Sim.Run()
+	if !errors.Is(sendErr, ip.ErrNoRoute) {
+		t.Fatalf("err = %v, want ErrNoRoute", sendErr)
+	}
+}
+
+func TestSpoofedSourceRejected(t *testing.T) {
+	n, a, b := pair(t)
+	var sendErr error
+	a.Spawn("send", func(task *sim.Task) {
+		m := a.Host.Pool.FromBytes([]byte("x"), 64)
+		// Claim to be host b.
+		sendErr = a.IP.Send(task, b.Addr(), b.Addr(), view.IPProtoUDP, m)
+	})
+	n.Sim.Run()
+	if sendErr == nil {
+		t.Fatal("spoofed source accepted by IP layer")
+	}
+}
+
+// Craft a valid frame addressed (at the link layer) to B but (at the IP
+// layer) to a third party: B must drop it as NotForUs, not deliver it.
+func TestNotForUsDropped(t *testing.T) {
+	n, a, b := pair(t)
+	seen := 0
+	if _, err := b.OpenUDP(plexus.UDPAppOptions{Port: 9}, func(*sim.Task, []byte, view.IP4, uint16) {
+		seen++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a.Spawn("craft", func(task *sim.Task) {
+		// Build IP(dst=10.0.0.77)/UDP(dport 9) by hand and ship it to
+		// B's MAC.
+		payload := []byte("snoop")
+		dgram := make([]byte, 20+8+len(payload))
+		dgram[0] = 0x45
+		ipv, _ := view.IPv4(dgram)
+		ipv.SetTotalLen(len(dgram))
+		ipv.SetTTL(64)
+		ipv.SetProto(view.IPProtoUDP)
+		ipv.SetSrc(a.Addr())
+		ipv.SetDst(view.IP4{10, 0, 0, 77})
+		ipv.ComputeChecksum()
+		uv, _ := view.UDP(dgram[20:])
+		uv.SetSrcPort(1234)
+		uv.SetDstPort(9)
+		uv.SetLength(8 + len(payload))
+		copy(dgram[28:], payload)
+		m := a.Host.Pool.FromBytes(dgram, 32)
+		if err := a.Ether.Send(task, b.NIC.MAC(), view.EtherTypeIPv4, m); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	})
+	n.Sim.Run()
+	if seen != 0 {
+		t.Fatal("misaddressed datagram delivered")
+	}
+	if b.IP.Stats().NotForUs != 1 {
+		t.Errorf("NotForUs = %d", b.IP.Stats().NotForUs)
+	}
+}
+
+// Corrupt the IP header in flight: the receiver must drop on checksum.
+func TestHeaderChecksumValidation(t *testing.T) {
+	n, a, b := pair(t)
+	seen := 0
+	if _, err := b.OpenUDP(plexus.UDPAppOptions{Port: 9}, func(*sim.Task, []byte, view.IP4, uint16) {
+		seen++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	n.Link.SetMangleFn(func(wire []byte) {
+		if len(wire) > 22 {
+			wire[22] ^= 0xff // flip a TTL bit in the IP header
+		}
+	})
+	capp, err := a.OpenUDP(plexus.UDPAppOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Spawn("send", func(task *sim.Task) {
+		_ = capp.Send(task, b.Addr(), 9, []byte("payload"))
+	})
+	n.Sim.Run()
+	if seen != 0 {
+		t.Fatal("corrupted datagram delivered")
+	}
+	if b.IP.Stats().BadChecksum != 1 {
+		t.Errorf("BadChecksum = %d", b.IP.Stats().BadChecksum)
+	}
+}
+
+// Fragment counts: a datagram of N bytes over a 1500 MTU yields
+// ceil(N / 1480-rounded-to-8) fragments, observed at the receiver.
+func TestFragmentCounts(t *testing.T) {
+	for _, size := range []int{1600, 2960, 5000} {
+		n, a, b := pair(t)
+		var got []byte
+		if _, err := b.OpenUDP(plexus.UDPAppOptions{Port: 9}, func(task *sim.Task, data []byte, src view.IP4, srcPort uint16) {
+			got = data
+		}); err != nil {
+			t.Fatal(err)
+		}
+		capp, err := a.OpenUDP(plexus.UDPAppOptions{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := make([]byte, size)
+		for i := range msg {
+			msg[i] = byte(i)
+		}
+		a.Spawn("send", func(task *sim.Task) { _ = capp.Send(task, b.Addr(), 9, msg) })
+		n.Sim.Run()
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("size %d: corrupted", size)
+		}
+		maxPayload := (1500 - 20) &^ 7 // 1480
+		want := (size + 8 + maxPayload - 1) / maxPayload
+		if got := int(b.IP.Stats().FragmentsRcvd); got != want {
+			t.Errorf("size %d: %d fragments, want %d", size, got, want)
+		}
+	}
+}
+
+// Drop one fragment: the datagram must never be delivered, and the
+// reassembly buffer must time out.
+func TestReassemblyTimeout(t *testing.T) {
+	n, a, b := pair(t)
+	seen := 0
+	if _, err := b.OpenUDP(plexus.UDPAppOptions{Port: 9}, func(*sim.Task, []byte, view.IP4, uint16) {
+		seen++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	frames := 0
+	n.Link.SetDropFn(func(wire []byte) bool {
+		frames++
+		return frames == 2 // lose the second fragment
+	})
+	capp, err := a.OpenUDP(plexus.UDPAppOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Spawn("send", func(task *sim.Task) { _ = capp.Send(task, b.Addr(), 9, make([]byte, 4000)) })
+	n.Sim.RunUntil(ip.ReassemblyTimeout + 5*sim.Second)
+	if seen != 0 {
+		t.Fatal("incomplete datagram delivered")
+	}
+	if b.IP.Stats().ReasmTimeouts != 1 {
+		t.Errorf("ReasmTimeouts = %d", b.IP.Stats().ReasmTimeouts)
+	}
+}
+
+// Fragments arriving out of order still reassemble.
+func TestReassemblyOutOfOrder(t *testing.T) {
+	n, a, b := pair(t)
+	var got []byte
+	if _, err := b.OpenUDP(plexus.UDPAppOptions{Port: 9}, func(task *sim.Task, data []byte, src view.IP4, srcPort uint16) {
+		got = data
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Delay the first fragment by re-sending it after the rest: simulate
+	// by dropping fragment 1 on its first pass and re-transmitting the
+	// datagram; the second copy's fragment 1 completes the first set.
+	frames := 0
+	n.Link.SetDropFn(func(wire []byte) bool {
+		frames++
+		return frames == 1
+	})
+	capp, err := a.OpenUDP(plexus.UDPAppOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]byte, 3000)
+	for i := range msg {
+		msg[i] = byte(i * 3)
+	}
+	a.Spawn("send", func(task *sim.Task) { _ = capp.Send(task, b.Addr(), 9, msg) })
+	a.SpawnAt(10*sim.Millisecond, "resend", func(task *sim.Task) { _ = capp.Send(task, b.Addr(), 9, msg) })
+	n.Sim.RunUntil(60 * sim.Second)
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("out-of-order reassembly failed: got %d bytes", len(got))
+	}
+}
+
+func TestIPStatsAndAccessors(t *testing.T) {
+	n, a, b := pair(t)
+	if a.IP.Addr() != (view.IP4{10, 0, 0, 1}) {
+		t.Error("Addr wrong")
+	}
+	if a.IP.MTU() != 1500 {
+		t.Error("MTU wrong")
+	}
+	capp, err := a.OpenUDP(plexus.UDPAppOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.OpenUDP(plexus.UDPAppOptions{Port: 9}, nil); err != nil {
+		t.Fatal(err)
+	}
+	a.Spawn("send", func(task *sim.Task) { _ = capp.Send(task, b.Addr(), 9, []byte("x")) })
+	n.Sim.Run()
+	if a.IP.Stats().Sent == 0 {
+		t.Error("Sent not counted")
+	}
+	if b.IP.Stats().Delivered == 0 {
+		t.Error("Delivered not counted")
+	}
+}
+
+// Broadcast datagrams are accepted by every host on the segment.
+func TestBroadcastDelivery(t *testing.T) {
+	n, err := plexus.NewNetwork(1, netdev.EthernetModel(), []plexus.HostSpec{spin("a"), spin("b"), spin("c")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.PrimeARP()
+	a := n.Hosts[0]
+	got := 0
+	for _, h := range n.Hosts[1:] {
+		if _, err := h.OpenUDP(plexus.UDPAppOptions{Port: 9}, func(*sim.Task, []byte, view.IP4, uint16) {
+			got++
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	capp, err := a.OpenUDP(plexus.UDPAppOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Spawn("send", func(task *sim.Task) {
+		_ = capp.Send(task, view.IP4{255, 255, 255, 255}, 9, []byte("everyone"))
+	})
+	n.Sim.Run()
+	if got != 2 {
+		t.Fatalf("broadcast reached %d of 2 hosts", got)
+	}
+}

@@ -1,0 +1,105 @@
+package ip
+
+import (
+	"plexus/internal/mbuf"
+	"plexus/internal/sim"
+	"plexus/internal/view"
+)
+
+// reasmKey identifies a fragment set (RFC 791: src, dst, proto, id).
+type reasmKey struct {
+	src   view.IP4
+	dst   view.IP4
+	proto uint8
+	id    uint16
+}
+
+// reasmBuf accumulates one datagram's fragments.
+type reasmBuf struct {
+	data     []byte
+	have     []bool // per-8-byte-unit arrival map
+	totalLen int    // payload length, known once the last fragment arrives
+	timer    *sim.Timer
+}
+
+// reassemble incorporates the validated fragment m (consumed) and returns the
+// complete datagram as a fresh packet — rebuilt with a synthetic header whose
+// fragment fields are cleared — or nil while fragments are still missing.
+func (l *Layer) reassemble(t *sim.Task, v view.IPv4View, m *mbuf.Mbuf) *mbuf.Mbuf {
+	key := reasmKey{src: v.Src(), dst: v.Dst(), proto: v.Proto(), id: v.ID()}
+	rb, ok := l.reasm[key]
+	if !ok {
+		rb = &reasmBuf{}
+		l.reasm[key] = rb
+		rb.timer = l.sim.After(ReassemblyTimeout, "ip-reasm-timeout", func() {
+			if cur, ok := l.reasm[key]; ok && cur == rb {
+				delete(l.reasm, key)
+				l.stats.ReasmTimeouts++
+			}
+		})
+	}
+	fragOff := v.FragOffset()
+	payloadLen := v.TotalLen() - v.HdrLen()
+	payload, err := m.CopyData(v.HdrLen(), payloadLen)
+	m.Free()
+	if err != nil {
+		return nil
+	}
+	t.ChargeBytes(payloadLen, l.costs.RAMPerByte)
+
+	end := fragOff + payloadLen
+	if end > len(rb.data) {
+		nd := make([]byte, end)
+		copy(nd, rb.data)
+		rb.data = nd
+		nh := make([]bool, (end+7)/8)
+		copy(nh, rb.have)
+		rb.have = nh
+	}
+	copy(rb.data[fragOff:], payload)
+	for u := fragOff / 8; u < (end+7)/8; u++ {
+		rb.have[u] = true
+	}
+	if !v.MoreFragments() {
+		rb.totalLen = end
+	}
+	if rb.totalLen == 0 || len(rb.data) < rb.totalLen {
+		return nil
+	}
+	for u := 0; u < (rb.totalLen+7)/8; u++ {
+		if !rb.have[u] {
+			return nil
+		}
+	}
+	// Complete: cancel the timer and rebuild a whole datagram.
+	rb.timer.Stop()
+	delete(l.reasm, key)
+	l.stats.Reassembled++
+	whole := l.pool.FromBytes(rb.data[:rb.totalLen], view.IPv4MinHdrLen+16)
+	dm, err := whole.Prepend(view.IPv4MinHdrLen)
+	if err != nil {
+		whole.Free()
+		return nil
+	}
+	b, err := dm.MutableBytes()
+	if err != nil {
+		dm.Free()
+		return nil
+	}
+	b[0] = 0x45
+	nv, err := view.IPv4(b[:view.IPv4MinHdrLen])
+	if err != nil {
+		dm.Free()
+		return nil
+	}
+	nv.SetTotalLen(dm.PktLen())
+	nv.SetID(key.id)
+	nv.SetFlagsFrag(0, 0)
+	nv.SetTTL(v.TTL())
+	nv.SetProto(key.proto)
+	nv.SetSrc(key.src)
+	nv.SetDst(key.dst)
+	nv.ComputeChecksum()
+	dm.SetReadOnly()
+	return dm
+}

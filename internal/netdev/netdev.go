@@ -1,0 +1,336 @@
+// Package netdev models the three network devices of the paper's testbed
+// (§4): a 10Mb/s Ethernet, a 155Mb/s Fore TCA-100 ATM interface whose
+// programmed I/O limits deliverable bandwidth to ~53Mb/s, and a 45Mb/s DEC T3
+// adapter that uses DMA. A NIC charges driver and I/O costs to the simulated
+// CPU, serializes frames onto a shared link, and delivers arrivals as
+// interrupt-priority work that raises the device's PacketRecv event — the
+// bottom of the Plexus protocol graph.
+package netdev
+
+import (
+	"fmt"
+
+	"plexus/internal/event"
+	"plexus/internal/mbuf"
+	"plexus/internal/sim"
+	"plexus/internal/view"
+)
+
+// Model describes a device type: wire characteristics plus driver costs.
+type Model struct {
+	// Name labels the device type ("ethernet", "fore-atm", "dec-t3").
+	Name string
+	// BitsPerSec is the wire signalling rate.
+	BitsPerSec int64
+	// PropDelay is one-way propagation (cabling + switch) latency.
+	PropDelay sim.Time
+	// MTU is the largest frame payload (bytes after the Ethernet header).
+	MTU int
+	// MinFrame pads short frames to the medium's minimum (Ethernet: 64B).
+	MinFrame int
+	// TxDriver/RxDriver are fixed per-packet driver costs.
+	TxDriver sim.Time
+	RxDriver sim.Time
+	// IntrEntry is the interrupt entry/exit overhead on receive.
+	IntrEntry sim.Time
+	// PIOPerByte, when nonzero, models programmed I/O: the CPU moves every
+	// byte to (and from) the adapter itself. DMA devices leave it zero.
+	PIOPerByte sim.Time
+	// MaxBacklog bounds the transmit queue: a frame that would have to
+	// wait longer than this for the wire is dropped (interface-queue
+	// overflow), as when offered load exceeds link capacity.
+	MaxBacklog sim.Time
+}
+
+// EthernetModel is the paper's 10Mb/s private Ethernet segment.
+func EthernetModel() Model {
+	return Model{
+		Name:       "ethernet",
+		BitsPerSec: 10_000_000,
+		PropDelay:  1 * sim.Microsecond,
+		MTU:        1500,
+		MinFrame:   64,
+		TxDriver:   44 * sim.Microsecond,
+		RxDriver:   44 * sim.Microsecond,
+		IntrEntry:  10 * sim.Microsecond,
+		MaxBacklog: 60 * sim.Millisecond, // ~50 full frames, BSD ifq_maxlen
+	}
+}
+
+// ForeATMModel is the 155Mb/s Fore TCA-100 on TurboChannel. Programmed I/O
+// makes the CPU copy every byte; with these costs two drivers moving data
+// reliably top out near the paper's 53Mb/s.
+func ForeATMModel() Model {
+	return Model{
+		Name:       "fore-atm",
+		BitsPerSec: 155_000_000,
+		PropDelay:  2 * sim.Microsecond, // through the ForeRunner switch
+		MTU:        9180,
+		TxDriver:   26 * sim.Microsecond,
+		RxDriver:   26 * sim.Microsecond,
+		IntrEntry:  10 * sim.Microsecond,
+		PIOPerByte: 140 * sim.Nanosecond,
+		MaxBacklog: 25 * sim.Millisecond,
+	}
+}
+
+// DECT3Model is the experimental 45Mb/s DEC T3 adapter, DMA-based,
+// back-to-back connected.
+func DECT3Model() Model {
+	return Model{
+		Name:       "dec-t3",
+		BitsPerSec: 45_000_000,
+		PropDelay:  1 * sim.Microsecond,
+		MTU:        4470,
+		TxDriver:   22 * sim.Microsecond,
+		RxDriver:   22 * sim.Microsecond,
+		IntrEntry:  10 * sim.Microsecond,
+		MaxBacklog: 40 * sim.Millisecond, // ~50 max-size frames
+	}
+}
+
+// FastDriver returns a copy of m with the reduced driver costs of the paper's
+// "faster device driver" experiment (§4.1: 337µs Ethernet, 241µs ATM RTT).
+func FastDriver(m Model) Model {
+	m.TxDriver /= 2
+	m.RxDriver /= 2
+	m.IntrEntry /= 2
+	m.Name += "-fastdrv"
+	return m
+}
+
+// serialization returns the wire occupancy of an n-byte frame.
+func (m Model) serialization(n int) sim.Time {
+	if n < m.MinFrame {
+		n = m.MinFrame
+	}
+	return sim.Time(int64(n) * 8 * int64(sim.Second) / m.BitsPerSec)
+}
+
+// Link is a broadcast medium joining NICs: the private Ethernet segment, the
+// path through the ForeRunner switch, or the back-to-back T3 cable. The wire
+// is a serial resource — a frame transmits only when the previous one has
+// left the wire.
+type Link struct {
+	sim       *sim.Sim
+	name      string
+	nics      []*NIC
+	busyUntil sim.Time
+	frames    uint64
+	bytes     uint64
+	dropped   uint64
+	// dropFn, when set, is consulted per frame; true drops it on the wire.
+	dropFn func(wire []byte) bool
+	// mangleFn, when set, may corrupt each frame's bytes in flight.
+	mangleFn func(wire []byte)
+	// delayFn, when set, adds per-frame extra propagation delay; unequal
+	// delays reorder deliveries.
+	delayFn func(wire []byte) sim.Time
+}
+
+// SetDropFn installs a loss-injection predicate: frames for which fn returns
+// true vanish on the wire. Tests use this to exercise retransmission.
+func (l *Link) SetDropFn(fn func(wire []byte) bool) { l.dropFn = fn }
+
+// SetMangleFn installs a corruption hook: fn may modify each frame's bytes in
+// flight. Tests use this to exercise checksum validation.
+func (l *Link) SetMangleFn(fn func(wire []byte)) { l.mangleFn = fn }
+
+// SetDelayFn installs a jitter hook: fn returns extra propagation delay per
+// frame. Unequal delays reorder deliveries, exercising receivers'
+// out-of-order paths.
+func (l *Link) SetDelayFn(fn func(wire []byte) sim.Time) { l.delayFn = fn }
+
+// Dropped reports how many frames the loss injector discarded.
+func (l *Link) Dropped() uint64 { return l.dropped }
+
+// NewLink creates an empty link.
+func NewLink(s *sim.Sim, name string) *Link {
+	return &Link{sim: s, name: name}
+}
+
+// Frames reports how many frames crossed the link.
+func (l *Link) Frames() uint64 { return l.frames }
+
+// Bytes reports how many frame bytes crossed the link.
+func (l *Link) Bytes() uint64 { return l.bytes }
+
+// NICStats counts per-device activity.
+type NICStats struct {
+	TxFrames   uint64
+	TxBytes    uint64
+	TxDrops    uint64 // transmit-queue overflows
+	RxFrames   uint64
+	RxBytes    uint64
+	RxFiltered uint64 // frames dropped by MAC address filter
+}
+
+// NIC is one network interface on a host.
+type NIC struct {
+	sim    *sim.Sim
+	cpu    *sim.CPU
+	raiser event.Raiser
+	pool   *mbuf.Pool
+	model  Model
+	name   string
+	mac    view.MAC
+	link   *Link
+	// RecvEvent is raised (at interrupt priority, after driver costs) for
+	// every frame that passes the MAC filter.
+	recvEvent event.Name
+	promisc   bool
+	stats     NICStats
+}
+
+// Config carries the per-NIC wiring.
+type Config struct {
+	CPU *sim.CPU
+	// Raise delivers arrivals into the protocol graph; a bare Dispatcher
+	// raises inline, a Stack may interpose thread handoff.
+	Raise event.Raiser
+	Pool  *mbuf.Pool
+	// RecvEvent must be a declared event; the NIC raises it on arrivals.
+	RecvEvent event.Name
+	MAC       view.MAC
+	// Promiscuous disables the MAC destination filter (the forwarder and
+	// trace tools use it).
+	Promiscuous bool
+}
+
+// NewNIC creates a NIC and attaches it to the link.
+func NewNIC(s *sim.Sim, name string, model Model, link *Link, cfg Config) *NIC {
+	n := &NIC{
+		sim:       s,
+		cpu:       cfg.CPU,
+		raiser:    cfg.Raise,
+		pool:      cfg.Pool,
+		model:     model,
+		name:      name,
+		mac:       cfg.MAC,
+		link:      link,
+		recvEvent: cfg.RecvEvent,
+		promisc:   cfg.Promiscuous,
+	}
+	link.nics = append(link.nics, n)
+	return n
+}
+
+// Name returns the interface name.
+func (n *NIC) Name() string { return n.name }
+
+// MAC returns the hardware address.
+func (n *NIC) MAC() view.MAC { return n.mac }
+
+// MTU returns the device MTU.
+func (n *NIC) MTU() int { return n.model.MTU }
+
+// Model returns the device model.
+func (n *NIC) Model() Model { return n.model }
+
+// Stats returns a snapshot of device counters.
+func (n *NIC) Stats() NICStats { return n.stats }
+
+// Transmit queues the frame m (a complete Ethernet frame, consumed by the
+// call) for transmission, charging the sending task for driver work and, on
+// PIO devices, for moving every byte to the adapter. The frame is copied onto
+// the wire when the link is free and delivered to every other NIC after
+// serialization and propagation.
+func (n *NIC) Transmit(t *sim.Task, m *mbuf.Mbuf) error {
+	if m.Hdr() == nil {
+		return fmt.Errorf("netdev %s: transmit of non-packet mbuf", n.name)
+	}
+	size := m.PktLen()
+	if size > n.model.MTU+view.EthernetHdrLen {
+		m.Free()
+		return fmt.Errorf("netdev %s: frame of %d bytes exceeds MTU %d", n.name, size, n.model.MTU)
+	}
+	t.Charge(n.model.TxDriver)
+	t.ChargeBytes(size, n.model.PIOPerByte)
+	// Interface-queue overflow: when the wire backlog exceeds the queue
+	// bound, the frame is dropped rather than queued forever.
+	if n.model.MaxBacklog > 0 && n.link.busyUntil > t.Now()+n.model.MaxBacklog {
+		n.stats.TxDrops++
+		n.sim.Tracef(sim.TraceNet, "%s: tx queue overflow, frame dropped", n.name)
+		m.Free()
+		return nil
+	}
+	n.stats.TxFrames++
+	n.stats.TxBytes += uint64(size)
+
+	// The adapter contends for the wire: start when both the task has
+	// finished its driver work and the link is free.
+	start := t.Now()
+	if n.link.busyUntil > start {
+		start = n.link.busyUntil
+	}
+	depart := start + n.model.serialization(size)
+	n.link.busyUntil = depart
+	arrival := depart + n.model.PropDelay
+	n.link.frames++
+	n.link.bytes += uint64(size)
+	n.sim.Tracef(sim.TraceNet, "%s: tx %dB depart=%v arrive=%v", n.name, size, depart, arrival)
+
+	// Snapshot the wire bytes once; each receiver views its own copy, as
+	// if from its own receive ring.
+	wire, err := m.CopyData(0, size)
+	m.Free()
+	if err != nil {
+		return err
+	}
+	if n.link.mangleFn != nil {
+		n.link.mangleFn(wire)
+	}
+	if n.link.dropFn != nil && n.link.dropFn(wire) {
+		n.link.dropped++
+		n.sim.Tracef(sim.TraceNet, "%s: frame dropped by loss injector", n.name)
+		return nil
+	}
+	if n.link.delayFn != nil {
+		arrival += n.link.delayFn(wire)
+	}
+	for _, dst := range n.link.nics {
+		if dst == n {
+			continue
+		}
+		dst.deliverAt(arrival, wire)
+	}
+	return nil
+}
+
+// deliverAt schedules frame arrival: the MAC filter runs "in hardware", then
+// accepted frames cost an interrupt plus driver work (plus PIO reads) on the
+// receiving CPU and are raised into the protocol graph.
+func (n *NIC) deliverAt(at sim.Time, wire []byte) {
+	// MAC destination filter (unless promiscuous).
+	if !n.promisc {
+		eth, err := view.Ethernet(wire)
+		if err != nil {
+			n.stats.RxFiltered++
+			return
+		}
+		dst := eth.Dst()
+		if dst != n.mac && !dst.IsBroadcast() && !dst.IsMulticast() {
+			n.stats.RxFiltered++
+			return
+		}
+	}
+	n.cpu.SubmitAt(at, sim.PrioInterrupt, "rx:"+n.name, func(t *sim.Task) {
+		t.Charge(n.model.IntrEntry + n.model.RxDriver)
+		t.ChargeBytes(len(wire), n.model.PIOPerByte)
+		m := n.pool.FromBytes(wire, 0)
+		m.Hdr().RcvIf = n.name
+		m.Hdr().Timestamp = int64(t.Now())
+		if eth, err := view.Ethernet(m.Bytes()); err == nil {
+			d := eth.Dst()
+			m.Hdr().Multicast = d.IsBroadcast() || d.IsMulticast()
+		}
+		n.stats.RxFrames++
+		n.stats.RxBytes += uint64(len(wire))
+		// Received packets are read-only through the graph (§3.4).
+		m.SetReadOnly()
+		if n.raiser.Raise(t, n.recvEvent, m) == 0 {
+			n.sim.Tracef(sim.TraceNet, "%s: frame with no handler, dropped", n.name)
+			m.Free()
+		}
+	})
+}

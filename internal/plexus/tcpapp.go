@@ -1,0 +1,186 @@
+package plexus
+
+import (
+	"plexus/internal/osmodel"
+	"plexus/internal/sim"
+	"plexus/internal/tcp"
+	"plexus/internal/view"
+)
+
+// TCPAppOptions configure application-level connections.
+type TCPAppOptions struct {
+	// OnRecv delivers stream bytes in order (slice owned by callee).
+	OnRecv func(t *sim.Task, conn *TCPApp, data []byte)
+	// OnEstablished fires when the handshake completes.
+	OnEstablished func(t *sim.Task, conn *TCPApp)
+	// OnPeerFin fires at the end of the peer's stream.
+	OnPeerFin func(t *sim.Task, conn *TCPApp)
+	// OnClose fires at full termination.
+	OnClose func(conn *TCPApp, err error)
+	// AppRecvCost is charged per delivered chunk.
+	AppRecvCost sim.Time
+}
+
+// TCPApp is an application-level TCP connection with personality costs.
+type TCPApp struct {
+	st   *Stack
+	conn *tcp.Conn
+	opts TCPAppOptions
+}
+
+func (st *Stack) connOptions(app *TCPApp, opts TCPAppOptions) tcp.ConnOptions {
+	return tcp.ConnOptions{
+		Ephemeral: true,
+		OnRecv: func(t *sim.Task, c *tcp.Conn, data []byte) {
+			app.deliver(t, data)
+		},
+		OnEstablished: func(t *sim.Task, c *tcp.Conn) {
+			app.conn = c
+			if opts.OnEstablished != nil {
+				app.inAppContext(t, 0, func(task *sim.Task) { opts.OnEstablished(task, app) })
+			}
+		},
+		OnPeerFin: func(t *sim.Task, c *tcp.Conn) {
+			if opts.OnPeerFin != nil {
+				app.inAppContext(t, 0, func(task *sim.Task) { opts.OnPeerFin(task, app) })
+			}
+		},
+		OnClose: func(c *tcp.Conn, err error) {
+			if opts.OnClose != nil {
+				opts.OnClose(app, err)
+			}
+		},
+	}
+}
+
+// ConnectTCP performs an active open to dst:dstPort.
+func (st *Stack) ConnectTCP(t *sim.Task, dst view.IP4, dstPort uint16, opts TCPAppOptions) (*TCPApp, error) {
+	app := &TCPApp{st: st, opts: opts}
+	if st.Host.Personality == osmodel.Monolithic {
+		t.Charge(st.Host.Costs.Syscall + st.Host.Costs.SocketLayer)
+	}
+	c, err := st.TCP.Connect(t, dst, dstPort, st.connOptions(app, opts))
+	if err != nil {
+		return nil, err
+	}
+	app.conn = c
+	return app, nil
+}
+
+// ListenTCP accepts connections on port; accept receives the ready TCPApp
+// after each handshake completes. Every accepted connection gets its own
+// TCPApp wrapper sharing opts.
+func (st *Stack) ListenTCP(port uint16, opts TCPAppOptions, accept func(t *sim.Task, conn *TCPApp)) (*tcp.Listener, error) {
+	lst, err := st.TCP.Listen(port, tcp.ConnOptions{Ephemeral: true}, nil)
+	if err != nil {
+		return nil, err
+	}
+	apps := make(map[*tcp.Conn]*TCPApp)
+	// The hooks read app.opts at call time, so a connection's callbacks can
+	// be replaced after accept (the user-level splice forwarder does this).
+	lst.SetConnOptions(tcp.ConnOptions{
+		Ephemeral: true,
+		OnRecv: func(t *sim.Task, c *tcp.Conn, data []byte) {
+			if app := apps[c]; app != nil {
+				app.deliver(t, data)
+			}
+		},
+		OnEstablished: func(t *sim.Task, c *tcp.Conn) {
+			app := &TCPApp{st: st, conn: c, opts: opts}
+			apps[c] = app
+			if accept != nil {
+				app.inAppContext(t, 0, func(task *sim.Task) { accept(task, app) })
+			}
+			if app.opts.OnEstablished != nil {
+				app.inAppContext(t, 0, func(task *sim.Task) { app.opts.OnEstablished(task, app) })
+			}
+		},
+		OnPeerFin: func(t *sim.Task, c *tcp.Conn) {
+			if app := apps[c]; app != nil && app.opts.OnPeerFin != nil {
+				app.inAppContext(t, 0, func(task *sim.Task) { app.opts.OnPeerFin(task, app) })
+			}
+		},
+		OnClose: func(c *tcp.Conn, err error) {
+			if app := apps[c]; app != nil {
+				delete(apps, c)
+				if app.opts.OnClose != nil {
+					app.opts.OnClose(app, err)
+				}
+			}
+		},
+	})
+	return lst, nil
+}
+
+// Options returns the connection's application-level options.
+func (app *TCPApp) Options() TCPAppOptions { return app.opts }
+
+// SetOptions replaces the connection's application-level callbacks; takes
+// effect for subsequent deliveries.
+func (app *TCPApp) SetOptions(o TCPAppOptions) { app.opts = o }
+
+// deliver applies receive-side personality structure, then the app callback.
+func (app *TCPApp) deliver(t *sim.Task, data []byte) {
+	st := app.st
+	run := func(task *sim.Task) {
+		if app.opts.AppRecvCost > 0 {
+			task.Charge(app.opts.AppRecvCost)
+		}
+		if app.opts.OnRecv != nil {
+			app.opts.OnRecv(task, app, data)
+		}
+	}
+	if st.Host.Personality == osmodel.SPIN {
+		run(t)
+		return
+	}
+	costs := st.Host.Costs
+	t.Charge(costs.SocketLayer + costs.Wakeup)
+	st.Host.CPU.SubmitAt(t.Now(), sim.PrioUser, "tcp-app-recv:"+st.Name(), func(ut *sim.Task) {
+		ut.Charge(costs.CtxSwitch + costs.Syscall)
+		ut.ChargeBytes(len(data), costs.CopyPerByte)
+		run(ut)
+	})
+}
+
+// inAppContext runs a control callback with personality structure: inline on
+// SPIN, as a woken user process on Monolithic.
+func (app *TCPApp) inAppContext(t *sim.Task, nbytes int, fn func(task *sim.Task)) {
+	st := app.st
+	if st.Host.Personality == osmodel.SPIN {
+		fn(t)
+		return
+	}
+	costs := st.Host.Costs
+	t.Charge(costs.Wakeup)
+	st.Host.CPU.SubmitAt(t.Now(), sim.PrioUser, "tcp-app-ctl:"+st.Name(), func(ut *sim.Task) {
+		ut.Charge(costs.CtxSwitch)
+		ut.ChargeBytes(nbytes, costs.CopyPerByte)
+		fn(ut)
+	})
+}
+
+// Send writes data to the stream, applying send-side personality costs.
+func (app *TCPApp) Send(t *sim.Task, data []byte) error {
+	st := app.st
+	if st.Host.Personality == osmodel.Monolithic {
+		costs := st.Host.Costs
+		t.Charge(costs.Syscall + costs.SocketLayer)
+		t.ChargeBytes(len(data), costs.CopyPerByte)
+	}
+	return app.conn.Send(t, data)
+}
+
+// Close ends the send side (FIN after buffered data).
+func (app *TCPApp) Close(t *sim.Task) {
+	if app.st.Host.Personality == osmodel.Monolithic {
+		t.Charge(app.st.Host.Costs.Syscall)
+	}
+	app.conn.Close(t)
+}
+
+// Conn exposes the underlying transport connection.
+func (app *TCPApp) Conn() *tcp.Conn { return app.conn }
+
+// State returns the transport state.
+func (app *TCPApp) State() tcp.State { return app.conn.State() }

@@ -1,0 +1,257 @@
+package sim
+
+import "fmt"
+
+// Priority orders contention for a CPU. Lower values run first, mirroring the
+// paper's structure: device interrupts preempt kernel threads, which preempt
+// user processes. (The model is run-to-completion: a lower-priority task that
+// has started is not preempted, but among queued tasks priority wins. That is
+// faithful enough for the latency/utilization shapes the paper reports.)
+type Priority int
+
+const (
+	// PrioInterrupt is the network interrupt level; EPHEMERAL Plexus
+	// handlers run here (paper §3.3).
+	PrioInterrupt Priority = iota
+	// PrioKernel is kernel-thread level; Plexus "thread" dispatch mode and
+	// softirq-style monolithic protocol processing run here.
+	PrioKernel
+	// PrioUser is user-process level; monolithic applications run here.
+	PrioUser
+	numPrios
+)
+
+func (p Priority) String() string {
+	switch p {
+	case PrioInterrupt:
+		return "interrupt"
+	case PrioKernel:
+		return "kernel"
+	case PrioUser:
+		return "user"
+	default:
+		return fmt.Sprintf("Priority(%d)", int(p))
+	}
+}
+
+// Task is the execution context handed to every costed activity. Code charges
+// the CPU for the virtual time it consumes; emissions (packet transmissions,
+// follow-on work) are stamped with the task's current virtual time so causality
+// is preserved within a single run-to-completion activity.
+type Task struct {
+	cpu     *CPU
+	label   string
+	prio    Priority
+	start   Time
+	charged Time
+	// budget, if > 0, is the EPHEMERAL time allotment (paper §3.3). The
+	// dispatcher checks Exceeded after the handler body runs and clamps the
+	// charge, simulating premature termination.
+	budget     Time
+	terminated bool
+}
+
+// Now returns the task's current virtual time: its start time plus everything
+// charged so far. All effects emitted by the task should carry this timestamp.
+func (t *Task) Now() Time { return t.start + t.charged }
+
+// Start returns the time at which the task began executing.
+func (t *Task) Start() Time { return t.start }
+
+// Charged returns the total CPU time this task has consumed.
+func (t *Task) Charged() Time { return t.charged }
+
+// Label returns the diagnostic label the task was submitted with.
+func (t *Task) Label() string { return t.label }
+
+// Priority returns the priority the task runs at.
+func (t *Task) Priority() Priority { return t.prio }
+
+// CPU returns the processor the task runs on.
+func (t *Task) CPU() *CPU { return t.cpu }
+
+// Sim returns the simulator that owns the task's CPU.
+func (t *Task) Sim() *Sim { return t.cpu.sim }
+
+// Charge consumes d of CPU time. Negative charges panic.
+func (t *Task) Charge(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative charge %v in task %q", d, t.label))
+	}
+	t.charged += d
+}
+
+// ChargeBytes consumes perByte of CPU time for each of n bytes — the shape of
+// copies, checksums and programmed I/O.
+func (t *Task) ChargeBytes(n int, perByte Time) {
+	if n < 0 {
+		panic(fmt.Sprintf("sim: negative byte count %d in task %q", n, t.label))
+	}
+	t.charged += Time(n) * perByte
+}
+
+// SetBudget assigns an EPHEMERAL time allotment for the remainder of the task.
+// Zero means unlimited.
+func (t *Task) SetBudget(d Time) { t.budget = d }
+
+// Budget returns the task's remaining allotment semantics: the configured
+// budget (0 = unlimited).
+func (t *Task) Budget() Time { return t.budget }
+
+// Exceeded reports whether the task has consumed more than its budget.
+func (t *Task) Exceeded() bool { return t.budget > 0 && t.charged > t.budget }
+
+// Terminated reports whether the dispatcher prematurely terminated this task
+// for exceeding its EPHEMERAL budget.
+func (t *Task) Terminated() bool { return t.terminated }
+
+// MarkTerminated records premature termination and clamps the task's charge to
+// its budget: the handler stopped consuming CPU at the allotment boundary.
+func (t *Task) MarkTerminated() {
+	t.terminated = true
+	if t.budget > 0 && t.charged > t.budget {
+		t.charged = t.budget
+	}
+}
+
+// Refund returns d of previously charged time. The event dispatcher uses this
+// to model premature termination of an EPHEMERAL handler that overran its
+// per-handler allotment: the CPU time past the allotment was never actually
+// consumed. Refunding more than was charged panics.
+func (t *Task) Refund(d Time) {
+	if d < 0 || d > t.charged {
+		panic(fmt.Sprintf("sim: bad refund %v (charged %v) in task %q", d, t.charged, t.label))
+	}
+	t.charged -= d
+}
+
+// pendingTask is a submitted-but-not-yet-run task.
+type pendingTask struct {
+	label string
+	prio  Priority
+	fn    func(*Task)
+	seq   uint64
+}
+
+// CPU is a serial processor: one task body executes at a time, highest
+// priority first, FIFO within a priority. It accounts busy time so experiments
+// can report utilization (Figure 6).
+type CPU struct {
+	sim   *Sim
+	name  string
+	seq   uint64
+	queue [numPrios][]pendingTask
+	// freeAt is when the currently-running task (if any) finishes.
+	freeAt  Time
+	running bool
+
+	busy     Time // total busy time since creation
+	markBusy Time // busy at last MarkUtilization
+	markTime Time // clock at last MarkUtilization
+
+	tasksRun uint64
+}
+
+// NewCPU creates a processor attached to s.
+func NewCPU(s *Sim, name string) *CPU {
+	return &CPU{sim: s, name: name}
+}
+
+// Name returns the CPU's diagnostic name.
+func (c *CPU) Name() string { return c.name }
+
+// Sim returns the owning simulator.
+func (c *CPU) Sim() *Sim { return c.sim }
+
+// TasksRun reports how many task bodies have executed.
+func (c *CPU) TasksRun() uint64 { return c.tasksRun }
+
+// Submit enqueues work at the current simulated time. The body runs when the
+// CPU is free and no higher-priority work is queued.
+func (c *CPU) Submit(prio Priority, label string, fn func(*Task)) {
+	c.SubmitAt(c.sim.Now(), prio, label, fn)
+}
+
+// SubmitAt enqueues work to arrive at absolute time at (which must not be in
+// the past). Device interrupt delivery uses this to inject work at packet
+// arrival time.
+func (c *CPU) SubmitAt(at Time, prio Priority, label string, fn func(*Task)) {
+	if prio < 0 || prio >= numPrios {
+		panic(fmt.Sprintf("sim: bad priority %d for %q", prio, label))
+	}
+	c.sim.At(at, "cpu-arrive:"+label, func() {
+		c.queue[prio] = append(c.queue[prio], pendingTask{label: label, prio: prio, fn: fn, seq: c.seq})
+		c.seq++
+		c.kick()
+	})
+}
+
+// kick starts the dispatch loop if the CPU is idle.
+func (c *CPU) kick() {
+	if c.running {
+		return
+	}
+	start := c.sim.Now()
+	if c.freeAt > start {
+		// Busy with a previously-executed task's residual time; a
+		// completion event is already scheduled.
+		return
+	}
+	pt, ok := c.dequeue()
+	if !ok {
+		return
+	}
+	c.runTask(start, pt)
+}
+
+func (c *CPU) dequeue() (pendingTask, bool) {
+	for p := Priority(0); p < numPrios; p++ {
+		if len(c.queue[p]) > 0 {
+			pt := c.queue[p][0]
+			copy(c.queue[p], c.queue[p][1:])
+			c.queue[p] = c.queue[p][:len(c.queue[p])-1]
+			return pt, true
+		}
+	}
+	return pendingTask{}, false
+}
+
+func (c *CPU) runTask(start Time, pt pendingTask) {
+	c.running = true
+	task := &Task{cpu: c, label: pt.label, prio: pt.prio, start: start}
+	c.sim.tracef(TraceCPU, start, "%s: run %s (%s)", c.name, pt.label, pt.prio)
+	pt.fn(task)
+	c.tasksRun++
+	c.busy += task.charged
+	c.freeAt = start + task.charged
+	c.running = false
+	c.sim.tracef(TraceCPU, c.freeAt, "%s: done %s charged=%v", c.name, pt.label, task.charged)
+	// The CPU is occupied until freeAt; dispatch the next queued task then.
+	// kick re-checks freeAt: if another task slipped in at this timestamp
+	// and advanced it, that task's own completion event takes over.
+	c.sim.At(c.freeAt, "cpu-next:"+c.name, c.kick)
+}
+
+// Busy returns total busy time since creation.
+func (c *CPU) Busy() Time { return c.busy }
+
+// MarkUtilization starts a measurement window at the current time.
+func (c *CPU) MarkUtilization() {
+	c.markBusy = c.busy
+	c.markTime = c.sim.Now()
+}
+
+// Utilization returns the fraction of time the CPU was busy during the window
+// opened by MarkUtilization (or since creation if never marked). It returns 0
+// for an empty window.
+func (c *CPU) Utilization() float64 {
+	elapsed := c.sim.Now() - c.markTime
+	if elapsed <= 0 {
+		return 0
+	}
+	u := float64(c.busy-c.markBusy) / float64(elapsed)
+	if u > 1 {
+		u = 1 // busy is credited at task start; clamp window-edge overshoot
+	}
+	return u
+}

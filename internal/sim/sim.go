@@ -1,0 +1,210 @@
+// Package sim provides the discrete-event simulation substrate on which the
+// Plexus reproduction runs.
+//
+// The paper's measurements were taken on DEC Alpha workstations running the
+// SPIN operating system; a userspace Go reproduction cannot execute code in a
+// kernel, so instead every host is simulated: a virtual clock, a serial CPU
+// resource with priority scheduling and utilization accounting, and an event
+// queue. Protocol code is real (real packets, real checksums, real state
+// machines); only *time* is virtual. See DESIGN.md §1 for the substitution
+// argument.
+//
+// The engine is deterministic: events at equal timestamps fire in submission
+// order, and all randomness flows through a seeded PRNG.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a simulated timestamp or duration in nanoseconds. It deliberately
+// mirrors time.Duration's unit so constants read naturally, but it is a
+// distinct type: simulated time never mixes with wall-clock time.
+type Time int64
+
+// Convenient units of simulated time.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String formats a Time with an adaptive unit, e.g. "437µs" or "1.2s".
+func (t Time) String() string {
+	switch {
+	case t < 0:
+		return "-" + (-t).String()
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(t)/float64(Microsecond))
+	case t < Second:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	}
+}
+
+// Micros reports t as a floating-point count of microseconds. The paper
+// reports latencies in µs; experiment harnesses use this for output.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// event is one pending callback in the simulation.
+type event struct {
+	at    Time
+	seq   uint64 // tie-break: FIFO among equal timestamps
+	fn    func()
+	label string
+	dead  bool // cancelled
+	index int  // heap index
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator instance. It is not safe for concurrent
+// use: the whole point is a single deterministic timeline.
+type Sim struct {
+	now      Time
+	seq      uint64
+	queue    eventHeap
+	rng      *rand.Rand
+	executed uint64
+	tracer   Tracer
+}
+
+// New returns a simulator whose clock starts at zero and whose PRNG is
+// seeded with seed, so identical runs replay identically.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand exposes the simulation's deterministic PRNG. All stochastic choices
+// (jitter, drop tests, workload generation) must draw from it.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Executed reports how many events have fired so far; useful in tests and
+// for detecting runaway schedules.
+func (s *Sim) Executed() uint64 { return s.executed }
+
+// Timer is a handle to a scheduled callback, returned by At/After.
+type Timer struct{ ev *event }
+
+// Stop cancels the timer if it has not fired. It reports whether the
+// cancellation prevented the callback from running; stopping a timer that
+// already fired returns false and has no effect.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.dead || t.ev.fn == nil {
+		return false
+	}
+	t.ev.dead = true
+	t.ev.fn = nil
+	return true
+}
+
+// Stopped reports whether the timer was cancelled.
+func (t *Timer) Stopped() bool { return t == nil || t.ev == nil || t.ev.dead }
+
+// At schedules fn to run at absolute simulated time at. Scheduling in the
+// past panics: that is always a logic error in a discrete-event model.
+func (s *Sim) At(at Time, label string, fn func()) *Timer {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v, before now %v", label, at, s.now))
+	}
+	e := &event{at: at, seq: s.seq, fn: fn, label: label}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return &Timer{ev: e}
+}
+
+// After schedules fn to run d after the current time.
+func (s *Sim) After(d Time, label string, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for %q", d, label))
+	}
+	return s.At(s.now+d, label, fn)
+}
+
+// Step fires the next pending event, advancing the clock to its timestamp.
+// It reports false when the queue is empty.
+func (s *Sim) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*event)
+		if e.dead {
+			continue
+		}
+		s.now = e.at
+		s.executed++
+		fn := e.fn
+		e.fn = nil
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains. Simulations with self-renewing
+// work (periodic timers) must use RunUntil instead.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= t, then sets the clock to t.
+func (s *Sim) RunUntil(t Time) {
+	for len(s.queue) > 0 {
+		// Peek; heap root is the earliest event.
+		if s.queue[0].at > t {
+			break
+		}
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// Pending reports the number of live events still queued.
+func (s *Sim) Pending() int {
+	n := 0
+	for _, e := range s.queue {
+		if !e.dead {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,713 @@
+package tcp
+
+import (
+	"fmt"
+
+	"plexus/internal/event"
+	"plexus/internal/mbuf"
+	"plexus/internal/sim"
+	"plexus/internal/view"
+)
+
+// State is a TCP connection state (RFC 793 §3.2).
+type State int
+
+// Connection states.
+const (
+	StateClosed State = iota
+	StateSynSent
+	StateSynRcvd
+	StateEstablished
+	StateFinWait1
+	StateFinWait2
+	StateCloseWait
+	StateClosing
+	StateLastAck
+	StateTimeWait
+)
+
+var stateNames = [...]string{
+	"CLOSED", "SYN-SENT", "SYN-RECEIVED", "ESTABLISHED", "FIN-WAIT-1",
+	"FIN-WAIT-2", "CLOSE-WAIT", "CLOSING", "LAST-ACK", "TIME-WAIT",
+}
+
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Protocol timing constants.
+const (
+	// minRTO/maxRTO bound the retransmission timeout.
+	minRTO = 1 * sim.Second
+	maxRTO = 64 * sim.Second
+	// initialRTO applies before any RTT sample (RFC 6298 suggests 1s;
+	// 1995-era stacks used ~1.5s).
+	initialRTO = 1 * sim.Second
+	// delayedAckDelay is the standard 200ms delayed-ACK clock.
+	delayedAckDelay = 200 * sim.Millisecond
+	// msl is the maximum segment lifetime; TIME-WAIT lasts 2*msl.
+	msl = 30 * sim.Second
+	// defaultRcvWnd is the receive buffer/advertised window.
+	defaultRcvWnd = 64*1024 - 1
+	// dupThresh triggers fast retransmit.
+	dupThresh = 3
+	// maxSynRetries bounds connection-establishment attempts.
+	maxSynRetries = 5
+	// maxOOOSegs bounds buffered out-of-order segments per connection.
+	maxOOOSegs = 64
+	// persistInterval is the base zero-window probe interval.
+	persistInterval = 2 * sim.Second
+	// maxPersistInterval caps persist backoff.
+	maxPersistInterval = 60 * sim.Second
+)
+
+// ConnOptions configure a connection's application-visible behaviour.
+type ConnOptions struct {
+	// OnRecv delivers in-order payload bytes as they arrive. The slice is
+	// owned by the callee.
+	OnRecv func(t *sim.Task, c *Conn, data []byte)
+	// OnEstablished fires when the handshake completes.
+	OnEstablished func(t *sim.Task, c *Conn)
+	// OnClose fires when the connection fully terminates; err is nil for
+	// an orderly close, ErrReset for a RST.
+	OnClose func(c *Conn, err error)
+	// OnPeerFin fires when the peer's FIN arrives (end of their stream).
+	OnPeerFin func(t *sim.Task, c *Conn)
+	// Ephemeral marks the segment handler EPHEMERAL.
+	Ephemeral bool
+	// RcvWnd overrides the advertised window (default 64KB-1).
+	RcvWnd uint32
+}
+
+type sndState struct {
+	iss uint32
+	una uint32
+	nxt uint32
+	wnd uint32 // peer's advertised window
+	// congestion control
+	cwnd     uint32
+	ssthresh uint32
+	dupAcks  int
+}
+
+type rcvState struct {
+	irs uint32
+	nxt uint32
+	wnd uint32
+}
+
+type oooSeg struct {
+	seq     uint32
+	payload []byte
+	fin     bool
+}
+
+// ConnStats counts per-connection activity.
+type ConnStats struct {
+	BytesSent    uint64
+	BytesRcvd    uint64
+	SegsSent     uint64
+	SegsRcvd     uint64
+	Retransmits  uint64
+	FastRexmits  uint64
+	RTOExpiries  uint64
+	DupAcksRcvd  uint64
+	OOOBuffered  uint64
+	OOODropped   uint64
+	WindowProbes uint64 // zero-window persist probes sent
+}
+
+// Conn is one TCP connection (a TCB plus its guard binding).
+type Conn struct {
+	mgr  *Manager
+	opts ConnOptions
+
+	localPort  uint16
+	remoteAddr view.IP4
+	remotePort uint16
+
+	state State
+	snd   sndState
+	rcv   rcvState
+	mss   uint32
+
+	// sndBuf holds bytes from snd.una onward (unacked + unsent).
+	sndBuf []byte
+	// finQueued marks that the application closed its send side; the FIN
+	// goes out after the buffer drains.
+	finQueued bool
+	finSeq    uint32 // sequence of our FIN, valid once sent
+	finSent   bool
+
+	ooo []oooSeg
+
+	// Receiver-side flow control: when the application pauses delivery,
+	// in-order data accumulates in rcvBuf and the advertised window
+	// shrinks toward zero.
+	rcvBuf    []byte
+	paused    bool
+	rcvWndCap uint32
+
+	// timers
+	rexmitTimer  *sim.Timer
+	ackTimer     *sim.Timer
+	twTimer      *sim.Timer
+	persistTimer *sim.Timer
+	persistShift uint
+	// RTT estimation (Jacobson), Karn's rule via rttSeq/rttStart.
+	srtt     sim.Time
+	rttvar   sim.Time
+	rto      sim.Time
+	rttSeq   uint32
+	rttStart sim.Time
+	rttValid bool
+	backoff  uint
+
+	synRetries int
+	binding    *event.Binding
+	listener   *Listener
+	stats      ConnStats
+	closedErr  error
+	dead       bool
+}
+
+// newConn allocates a TCB and installs its guard (exact 4-tuple match — the
+// anti-snooping edge) on TCP.PacketRecv.
+func (m *Manager) newConn(localPort uint16, remote view.IP4, remotePort uint16, opts ConnOptions) *Conn {
+	c := &Conn{
+		mgr:        m,
+		opts:       opts,
+		localPort:  localPort,
+		remoteAddr: remote,
+		remotePort: remotePort,
+		mss:        uint32(m.MSS()),
+		rto:        initialRTO,
+	}
+	c.rcv.wnd = defaultRcvWnd
+	if opts.RcvWnd != 0 {
+		c.rcv.wnd = opts.RcvWnd
+	}
+	c.rcvWndCap = c.rcv.wnd
+	c.snd.iss = m.iss()
+	c.snd.una = c.snd.iss
+	c.snd.nxt = c.snd.iss
+	// Initial window of two segments: a lone first segment would sit
+	// behind the receiver's delayed-ACK clock for 200ms.
+	c.snd.cwnd = 2 * c.mss
+	c.snd.ssthresh = 65535
+	guard := func(t *sim.Task, pkt *mbuf.Mbuf) bool {
+		s, ok := parseSeg(pkt)
+		return ok && s.dstPort == c.localPort && s.srcPort == c.remotePort && s.src == c.remoteAddr
+	}
+	h := event.Handler{
+		Name:      fmt.Sprintf("tcp.conn:%d-%v:%d", localPort, remote, remotePort),
+		Fn:        c.segArrives,
+		Ephemeral: true,
+	}
+	b, err := m.disp.Install(RecvEvent, guard, h, 0)
+	if err != nil {
+		// RecvEvent is always declared by New; install can only fail on
+		// a nil handler, which cannot happen here.
+		panic(err)
+	}
+	c.binding = b
+	m.conns[connKey{localPort, remote, remotePort}] = c
+	return c
+}
+
+// Connect performs an active open to dst:dstPort.
+func (m *Manager) Connect(t *sim.Task, dst view.IP4, dstPort uint16, opts ConnOptions) (*Conn, error) {
+	port, err := m.allocPort()
+	if err != nil {
+		return nil, err
+	}
+	c := m.newConn(port, dst, dstPort, opts)
+	c.state = StateSynSent
+	c.sendSYN(t)
+	return c, nil
+}
+
+// State returns the connection state.
+func (c *Conn) State() State { return c.state }
+
+// Stats returns a snapshot of per-connection counters.
+func (c *Conn) Stats() ConnStats { return c.stats }
+
+// LocalPort returns the local port.
+func (c *Conn) LocalPort() uint16 { return c.localPort }
+
+// RemoteAddr returns the peer address and port.
+func (c *Conn) RemoteAddr() (view.IP4, uint16) { return c.remoteAddr, c.remotePort }
+
+// RTO returns the current retransmission timeout (tests observe backoff).
+func (c *Conn) RTO() sim.Time { return c.rto }
+
+// SendBufBytes returns how many bytes sit in the send buffer (unacked+unsent).
+func (c *Conn) SendBufBytes() int { return len(c.sndBuf) }
+
+// --- output ---
+
+func (c *Conn) sendSYN(t *sim.Task) {
+	c.snd.nxt = c.snd.iss + 1
+	c.stats.SegsSent++
+	c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.snd.iss, 0, view.TCPSyn, c.rcv.wnd, nil)
+	c.armRexmit()
+	c.startRTT(c.snd.iss)
+}
+
+func (c *Conn) sendSYNACK(t *sim.Task) {
+	c.snd.nxt = c.snd.iss + 1
+	c.stats.SegsSent++
+	c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.snd.iss, c.rcv.nxt, view.TCPSyn|view.TCPAck, c.rcv.wnd, nil)
+	c.armRexmit()
+}
+
+// sendACK emits a bare acknowledgment now, cancelling any delayed ACK.
+func (c *Conn) sendACK(t *sim.Task) {
+	if c.ackTimer != nil {
+		c.ackTimer.Stop()
+		c.ackTimer = nil
+	}
+	c.stats.SegsSent++
+	c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.snd.nxt, c.rcv.nxt, view.TCPAck, c.rcv.wnd, nil)
+}
+
+// scheduleDelayedACK arms the 200ms ACK clock if not already pending.
+func (c *Conn) scheduleDelayedACK() {
+	if c.ackTimer != nil && !c.ackTimer.Stopped() {
+		return
+	}
+	c.ackTimer = c.mgr.sim.After(delayedAckDelay, "tcp-delack", func() {
+		c.ackTimer = nil
+		if c.dead {
+			return
+		}
+		c.mgr.stats.DelayedAcks++
+		c.mgr.cpu.Submit(sim.PrioKernel, "tcp-delack", func(task *sim.Task) {
+			if !c.dead {
+				c.sendACK(task)
+			}
+		})
+	})
+}
+
+// Send appends data to the connection's stream. It is accepted immediately
+// into the send buffer and transmitted as the windows allow.
+func (c *Conn) Send(t *sim.Task, data []byte) error {
+	switch c.state {
+	case StateEstablished, StateCloseWait, StateSynSent, StateSynRcvd:
+	default:
+		return ErrClosed
+	}
+	if c.finQueued {
+		return ErrClosed
+	}
+	c.sndBuf = append(c.sndBuf, data...)
+	c.output(t)
+	return nil
+}
+
+// Close ends the send side: a FIN is queued after any buffered data.
+func (c *Conn) Close(t *sim.Task) {
+	switch c.state {
+	case StateClosed, StateTimeWait, StateLastAck, StateClosing, StateFinWait1, StateFinWait2:
+		return
+	}
+	if c.finQueued {
+		return
+	}
+	c.finQueued = true
+	switch c.state {
+	case StateEstablished, StateSynRcvd:
+		c.state = StateFinWait1
+	case StateCloseWait:
+		c.state = StateLastAck
+	case StateSynSent:
+		c.teardown(nil)
+		return
+	}
+	c.output(t)
+}
+
+// Abort sends a RST and destroys the connection.
+func (c *Conn) Abort(t *sim.Task) {
+	if c.dead {
+		return
+	}
+	c.mgr.stats.RSTsSent++
+	c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.snd.nxt, c.rcv.nxt, view.TCPRst|view.TCPAck, 0, nil)
+	c.teardown(ErrReset)
+}
+
+// usableWindow returns how many new bytes the windows currently permit.
+func (c *Conn) usableWindow() uint32 {
+	wnd := c.snd.wnd
+	if c.snd.cwnd < wnd {
+		wnd = c.snd.cwnd
+	}
+	inFlight := c.snd.nxt - c.snd.una
+	if inFlight >= wnd {
+		return 0
+	}
+	return wnd - inFlight
+}
+
+// output transmits as much buffered data (and a queued FIN) as the windows
+// allow. This is the single transmission path for new data.
+func (c *Conn) output(t *sim.Task) {
+	if c.state != StateEstablished && c.state != StateCloseWait &&
+		c.state != StateFinWait1 && c.state != StateLastAck {
+		return
+	}
+	for {
+		offset := c.snd.nxt - c.snd.una // bytes of sndBuf already in flight
+		// The FIN occupies sequence space beyond the buffer; once it (or
+		// all buffered data) is in flight there is nothing new to send.
+		if offset >= uint32(len(c.sndBuf)) {
+			break
+		}
+		avail := uint32(len(c.sndBuf)) - offset
+		if c.usableWindow() == 0 {
+			break
+		}
+		n := avail
+		if w := c.usableWindow(); n > w {
+			n = w
+		}
+		if n > c.mss {
+			n = c.mss
+		}
+		// Sender-side silly-window avoidance: when the window (not the
+		// buffer) limits us to a sub-MSS runt, wait for an ACK instead
+		// of sending it — 65535 mod MSS would otherwise generate a runt
+		// every window's worth of data.
+		if n < c.mss && n < avail {
+			break
+		}
+		payload := c.sndBuf[offset : offset+n]
+		flags := uint8(view.TCPAck)
+		// PSH on the last segment of the buffered data.
+		if offset+n == uint32(len(c.sndBuf)) {
+			flags |= view.TCPPsh
+		}
+		seq := c.snd.nxt
+		c.snd.nxt += n
+		c.stats.SegsSent++
+		c.stats.BytesSent += uint64(n)
+		if c.ackTimer != nil { // data segment carries the ACK
+			c.ackTimer.Stop()
+			c.ackTimer = nil
+		}
+		c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, seq, c.rcv.nxt, flags, c.rcv.wnd, payload)
+		c.startRTT(seq)
+		c.armRexmit()
+	}
+	// Stalled with data waiting and either a closed window or nothing in
+	// flight to draw further ACKs (the sender-SWS small-window case):
+	// enter persist mode so a silent peer cannot deadlock the connection.
+	if c.snd.nxt-c.snd.una < uint32(len(c.sndBuf)) &&
+		(c.snd.wnd == 0 || c.snd.nxt == c.snd.una) {
+		c.armPersist()
+	}
+	// Send the FIN once the buffer has fully drained into the window.
+	if c.finQueued && !c.finSent && c.snd.nxt == c.snd.una+uint32(len(c.sndBuf)) {
+		c.finSeq = c.snd.nxt
+		c.snd.nxt++
+		c.finSent = true
+		c.stats.SegsSent++
+		c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.finSeq, c.rcv.nxt, view.TCPFin|view.TCPAck, c.rcv.wnd, nil)
+		c.armRexmit()
+	}
+}
+
+// --- timers & RTT ---
+
+func (c *Conn) startRTT(seq uint32) {
+	if c.rttValid {
+		return // a sample is already being timed
+	}
+	c.rttValid = true
+	c.rttSeq = seq
+	c.rttStart = c.mgr.sim.Now()
+}
+
+// sampleRTT applies Jacobson's estimator when an ACK covers the timed
+// segment; Karn's rule is honoured by cancelRTT on retransmission.
+func (c *Conn) sampleRTT(ack uint32) {
+	if !c.rttValid || !seqGT(ack, c.rttSeq) {
+		return
+	}
+	c.rttValid = false
+	m := c.mgr.sim.Now() - c.rttStart
+	if c.srtt == 0 {
+		c.srtt = m
+		c.rttvar = m / 2
+	} else {
+		diff := m - c.srtt
+		if diff < 0 {
+			diff = -diff
+		}
+		c.rttvar += (diff - c.rttvar) / 4
+		c.srtt += (m - c.srtt) / 8
+	}
+	c.rto = c.srtt + 4*c.rttvar
+	if c.rto < minRTO {
+		c.rto = minRTO
+	}
+	if c.rto > maxRTO {
+		c.rto = maxRTO
+	}
+	c.backoff = 0
+}
+
+func (c *Conn) cancelRTT() { c.rttValid = false }
+
+func (c *Conn) armRexmit() {
+	if c.rexmitTimer != nil {
+		c.rexmitTimer.Stop()
+	}
+	rto := c.rto << c.backoff
+	if rto > maxRTO {
+		rto = maxRTO
+	}
+	c.rexmitTimer = c.mgr.sim.After(rto, "tcp-rexmit", func() {
+		if c.dead {
+			return
+		}
+		c.mgr.cpu.Submit(sim.PrioKernel, "tcp-rexmit", func(task *sim.Task) {
+			if !c.dead {
+				c.onRexmitTimeout(task)
+			}
+		})
+	})
+}
+
+func (c *Conn) disarmRexmit() {
+	if c.rexmitTimer != nil {
+		c.rexmitTimer.Stop()
+		c.rexmitTimer = nil
+	}
+}
+
+// onRexmitTimeout retransmits the oldest unacknowledged data with exponential
+// backoff and collapses the congestion window (RFC 5681 timeout behaviour).
+func (c *Conn) onRexmitTimeout(t *sim.Task) {
+	if c.snd.una == c.snd.nxt && !c.finSent {
+		return // everything acked in the meantime
+	}
+	c.stats.RTOExpiries++
+	c.mgr.stats.Retransmits++
+	c.backoff++
+	c.cancelRTT() // Karn: never time retransmitted segments
+	switch c.state {
+	case StateSynSent:
+		c.synRetries++
+		if c.synRetries > maxSynRetries {
+			c.teardown(fmt.Errorf("tcp: connect to %v:%d timed out", c.remoteAddr, c.remotePort))
+			return
+		}
+		c.stats.Retransmits++
+		c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.snd.iss, 0, view.TCPSyn, c.rcv.wnd, nil)
+		c.armRexmit()
+		return
+	case StateSynRcvd:
+		c.synRetries++
+		if c.synRetries > maxSynRetries {
+			c.teardown(fmt.Errorf("tcp: handshake with %v:%d timed out", c.remoteAddr, c.remotePort))
+			return
+		}
+		c.stats.Retransmits++
+		c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.snd.iss, c.rcv.nxt, view.TCPSyn|view.TCPAck, c.rcv.wnd, nil)
+		c.armRexmit()
+		return
+	}
+	// Collapse the window: ssthresh = flight/2, cwnd = 1 MSS.
+	flight := c.snd.nxt - c.snd.una
+	half := flight / 2
+	if half < 2*c.mss {
+		half = 2 * c.mss
+	}
+	c.snd.ssthresh = half
+	c.snd.cwnd = c.mss
+	c.snd.dupAcks = 0
+	c.retransmitOldest(t)
+	c.armRexmit()
+}
+
+// retransmitOldest resends one segment starting at snd.una.
+func (c *Conn) retransmitOldest(t *sim.Task) {
+	unacked := uint32(len(c.sndBuf))
+	if unacked > 0 {
+		n := unacked
+		if n > c.mss {
+			n = c.mss
+		}
+		c.stats.Retransmits++
+		payload := c.sndBuf[:n]
+		c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.snd.una, c.rcv.nxt, view.TCPAck|view.TCPPsh, c.rcv.wnd, payload)
+		return
+	}
+	if c.finSent && seqLE(c.snd.una, c.finSeq) {
+		c.stats.Retransmits++
+		c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.finSeq, c.rcv.nxt, view.TCPFin|view.TCPAck, c.rcv.wnd, nil)
+	}
+}
+
+// --- teardown ---
+
+// teardown destroys the TCB: timers stopped, guard uninstalled, demux entry
+// removed. err is reported through OnClose (nil = orderly).
+func (c *Conn) teardown(err error) {
+	if c.dead {
+		return
+	}
+	c.dead = true
+	c.closedErr = err
+	c.state = StateClosed
+	c.disarmRexmit()
+	if c.ackTimer != nil {
+		c.ackTimer.Stop()
+	}
+	if c.twTimer != nil {
+		c.twTimer.Stop()
+	}
+	c.disarmPersist()
+	c.mgr.disp.Uninstall(c.binding)
+	delete(c.mgr.conns, connKey{c.localPort, c.remoteAddr, c.remotePort})
+	if c.opts.OnClose != nil {
+		c.opts.OnClose(c, err)
+	}
+}
+
+// enterTimeWait schedules the final teardown after 2*MSL.
+func (c *Conn) enterTimeWait() {
+	c.state = StateTimeWait
+	c.disarmRexmit()
+	if c.twTimer != nil {
+		c.twTimer.Stop()
+	}
+	c.twTimer = c.mgr.sim.After(2*msl, "tcp-timewait", func() {
+		if !c.dead {
+			c.teardown(nil)
+		}
+	})
+}
+
+// --- receiver flow control and the persist timer ---
+
+// updateRcvWnd recomputes the advertised window from buffered, undelivered
+// data.
+func (c *Conn) updateRcvWnd() {
+	used := uint32(len(c.rcvBuf))
+	if used >= c.rcvWndCap {
+		c.rcv.wnd = 0
+	} else {
+		c.rcv.wnd = c.rcvWndCap - used
+	}
+}
+
+// SetRecvPaused pauses or resumes delivery to the application. While paused,
+// in-order data queues in the connection's receive buffer and the advertised
+// window closes toward zero — the receiver-side backpressure that forces the
+// peer into zero-window persist mode. Resuming flushes the buffer to OnRecv
+// and sends a window update.
+func (c *Conn) SetRecvPaused(t *sim.Task, paused bool) {
+	if c.paused == paused || c.dead {
+		c.paused = paused
+		return
+	}
+	c.paused = paused
+	if paused {
+		return
+	}
+	// Resume: flush buffered bytes to the application and reopen the
+	// window with an immediate ACK (window update).
+	data := c.rcvBuf
+	c.rcvBuf = nil
+	c.updateRcvWnd()
+	if len(data) > 0 && c.opts.OnRecv != nil {
+		c.opts.OnRecv(t, c, data)
+	}
+	c.sendACK(t)
+}
+
+// RecvBuffered reports bytes held for a paused application.
+func (c *Conn) RecvBuffered() int { return len(c.rcvBuf) }
+
+// armPersist starts (or continues) the zero-window probe timer.
+func (c *Conn) armPersist() {
+	if c.persistTimer != nil && !c.persistTimer.Stopped() {
+		return
+	}
+	d := persistInterval << c.persistShift
+	if d > maxPersistInterval {
+		d = maxPersistInterval
+	}
+	c.persistTimer = c.mgr.sim.After(d, "tcp-persist", func() {
+		c.persistTimer = nil
+		if c.dead {
+			return
+		}
+		c.mgr.cpu.Submit(sim.PrioKernel, "tcp-persist", func(task *sim.Task) {
+			if c.dead {
+				return
+			}
+			c.sendWindowProbe(task)
+		})
+	})
+}
+
+func (c *Conn) disarmPersist() {
+	if c.persistTimer != nil {
+		c.persistTimer.Stop()
+		c.persistTimer = nil
+	}
+	c.persistShift = 0
+}
+
+// sendWindowProbe forces output while persisting (RFC 1122 4.2.2.17 and
+// BSD's t_force): if the window permits any bytes, send them despite
+// sender-SWS avoidance; against a fully closed window, send one byte beyond
+// it. Either way the peer answers with an ACK carrying its current window,
+// so a lost window update cannot deadlock the connection.
+func (c *Conn) sendWindowProbe(t *sim.Task) {
+	offset := c.snd.nxt - c.snd.una
+	if offset >= uint32(len(c.sndBuf)) {
+		return // nothing left to probe with
+	}
+	avail := uint32(len(c.sndBuf)) - offset
+	if w := c.usableWindow(); w >= c.mss || w >= avail {
+		// The window reopened; transmit normally.
+		c.output(t)
+		return
+	}
+	n := c.usableWindow()
+	inWindow := n > 0
+	if n == 0 {
+		n = 1 // true zero-window probe: one byte beyond the window
+	}
+	if n > avail {
+		n = avail
+	}
+	if n > c.mss {
+		n = c.mss
+	}
+	c.stats.WindowProbes++
+	c.stats.SegsSent++
+	payload := c.sndBuf[offset : offset+n]
+	c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.snd.nxt, c.rcv.nxt, view.TCPAck|view.TCPPsh, c.rcv.wnd, payload)
+	if inWindow {
+		// A forced in-window send is real transmission: it advances
+		// snd.nxt and is covered by the retransmission timer.
+		c.snd.nxt += n
+		c.stats.BytesSent += uint64(n)
+		c.armRexmit()
+	}
+	if c.persistShift < 5 {
+		c.persistShift++
+	}
+	c.armPersist()
+}

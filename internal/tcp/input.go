@@ -1,0 +1,384 @@
+package tcp
+
+import (
+	"sort"
+
+	"plexus/internal/mbuf"
+	"plexus/internal/sim"
+	"plexus/internal/view"
+)
+
+// segArrives is the connection's handler on TCP.PacketRecv: the RFC 793
+// segment-arrives processing, simplified to the paths the reproduction
+// exercises but honest about ordering, windows, and loss.
+func (c *Conn) segArrives(t *sim.Task, pkt *mbuf.Mbuf) {
+	defer pkt.Free()
+	if c.dead {
+		return
+	}
+	s, ok := parseSeg(pkt)
+	if !ok {
+		return
+	}
+	c.stats.SegsRcvd++
+
+	switch c.state {
+	case StateSynSent:
+		c.synSentInput(t, s)
+		return
+	case StateClosed:
+		return
+	}
+
+	// 1. Sequence acceptability (RFC 793 p.69, simplified): the segment
+	// must overlap the receive window.
+	if !c.seqAcceptable(s) {
+		if s.flags&view.TCPRst == 0 {
+			c.sendACK(t)
+		}
+		return
+	}
+	// 2. RST: destroy the connection.
+	if s.flags&view.TCPRst != 0 {
+		c.teardown(ErrReset)
+		return
+	}
+	// 3. SYN in the window: error, reset.
+	if s.flags&view.TCPSyn != 0 && c.state != StateSynRcvd {
+		c.Abort(t)
+		return
+	}
+	// Duplicate SYN|ACK retransmission handling in SYN-RCVD: re-ack.
+	if c.state == StateSynRcvd && s.flags&view.TCPSyn != 0 {
+		c.stats.SegsSent++
+		c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.snd.iss, c.rcv.nxt, view.TCPSyn|view.TCPAck, c.rcv.wnd, nil)
+		return
+	}
+	// 4. ACK processing.
+	if s.flags&view.TCPAck == 0 {
+		return
+	}
+	if c.state == StateSynRcvd {
+		if seqLE(c.snd.una, s.ack) && seqLE(s.ack, c.snd.nxt) {
+			c.establish(t)
+		} else {
+			c.mgr.stats.RSTsSent++
+			c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, s.ack, 0, view.TCPRst, 0, nil)
+			return
+		}
+	}
+	c.processAck(t, s)
+	if c.dead {
+		return
+	}
+	// 5. Payload and FIN processing.
+	c.processText(t, s)
+}
+
+// synSentInput handles segments in SYN-SENT (active open).
+func (c *Conn) synSentInput(t *sim.Task, s seg) {
+	acceptableAck := false
+	if s.flags&view.TCPAck != 0 {
+		if seqLE(s.ack, c.snd.iss) || seqGT(s.ack, c.snd.nxt) {
+			if s.flags&view.TCPRst == 0 {
+				c.mgr.stats.RSTsSent++
+				c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, s.ack, 0, view.TCPRst, 0, nil)
+			}
+			return
+		}
+		acceptableAck = true
+	}
+	if s.flags&view.TCPRst != 0 {
+		if acceptableAck {
+			c.teardown(ErrReset)
+		}
+		return
+	}
+	if s.flags&view.TCPSyn == 0 {
+		return
+	}
+	c.rcv.irs = s.seq
+	c.rcv.nxt = s.seq + 1
+	c.snd.wnd = s.wnd
+	if acceptableAck {
+		c.snd.una = s.ack
+		c.sampleRTT(s.ack)
+		c.establish(t)
+		c.sendACK(t)
+		c.output(t)
+	} else {
+		// Simultaneous open.
+		c.state = StateSynRcvd
+		c.sendSYNACK(t)
+	}
+}
+
+// establish transitions into ESTABLISHED and notifies the application (and,
+// for passive opens, the listener's accept function).
+func (c *Conn) establish(t *sim.Task) {
+	wasSynRcvd := c.state == StateSynRcvd
+	c.state = StateEstablished
+	c.disarmRexmit()
+	c.synRetries = 0
+	if wasSynRcvd && c.listener != nil && c.listener.accept != nil {
+		c.listener.accept(t, c)
+	}
+	if c.opts.OnEstablished != nil {
+		c.opts.OnEstablished(t, c)
+	}
+}
+
+// seqAcceptable implements the four-case acceptability test.
+func (c *Conn) seqAcceptable(s seg) bool {
+	slen := s.segTextLen()
+	if c.rcv.wnd == 0 {
+		return slen == 0 && s.seq == c.rcv.nxt
+	}
+	wndEnd := c.rcv.nxt + c.rcv.wnd
+	if slen == 0 {
+		return seqLE(c.rcv.nxt, s.seq) && seqLT(s.seq, wndEnd) || s.seq == c.rcv.nxt ||
+			// Old pure ACKs (e.g. retransmitted SYN|ACK acks) are
+			// tolerated: they carry useful ACK fields.
+			seqLT(s.seq, c.rcv.nxt)
+	}
+	segEnd := s.seq + slen - 1
+	return (seqLE(c.rcv.nxt, s.seq) && seqLT(s.seq, wndEnd)) ||
+		(seqLE(c.rcv.nxt, segEnd) && seqLT(segEnd, wndEnd))
+}
+
+// processAck advances snd.una, runs congestion control, and drives the close
+// states forward.
+func (c *Conn) processAck(t *sim.Task, s seg) {
+	ack := s.ack
+	if seqGT(ack, c.snd.nxt) {
+		c.sendACK(t) // acks something not yet sent
+		return
+	}
+	if seqLE(ack, c.snd.una) {
+		// Duplicate ACK?
+		if len(s.payload) == 0 && s.wnd == c.snd.wnd && ack == c.snd.una && c.hasUnackedData() {
+			c.snd.dupAcks++
+			c.stats.DupAcksRcvd++
+			if c.snd.dupAcks == dupThresh {
+				// Fast retransmit + simplified fast recovery.
+				c.stats.FastRexmits++
+				c.mgr.stats.FastRexmits++
+				flight := c.snd.nxt - c.snd.una
+				half := flight / 2
+				if half < 2*c.mss {
+					half = 2 * c.mss
+				}
+				c.snd.ssthresh = half
+				c.snd.cwnd = c.snd.ssthresh
+				c.cancelRTT()
+				c.retransmitOldest(t)
+				c.armRexmit()
+			}
+		}
+		oldWnd := c.snd.wnd
+		c.snd.wnd = s.wnd
+		if oldWnd == 0 && s.wnd > 0 {
+			// Window update: leave persist mode and transmit.
+			c.disarmPersist()
+			c.output(t)
+		}
+		return
+	}
+	// New data acknowledged.
+	acked := ack - c.snd.una
+	c.snd.dupAcks = 0
+	c.sampleRTT(ack)
+	// Slide the send buffer past acknowledged bytes (FIN occupies sequence
+	// space beyond the buffer).
+	dataAcked := acked
+	if c.finSent && seqGT(ack, c.finSeq) {
+		dataAcked--
+	}
+	if uint32(len(c.sndBuf)) >= dataAcked {
+		c.sndBuf = c.sndBuf[dataAcked:]
+	} else {
+		c.sndBuf = nil
+	}
+	c.snd.una = ack
+	c.snd.wnd = s.wnd
+	if s.wnd > 0 {
+		c.disarmPersist()
+	}
+	// Congestion control: slow start below ssthresh, else additive.
+	if c.snd.cwnd < c.snd.ssthresh {
+		c.snd.cwnd += c.mss
+	} else {
+		inc := c.mss * c.mss / c.snd.cwnd
+		if inc == 0 {
+			inc = 1
+		}
+		c.snd.cwnd += inc
+	}
+	if c.snd.una == c.snd.nxt {
+		c.disarmRexmit()
+		c.backoff = 0
+	} else {
+		c.armRexmit()
+	}
+	// Close-state transitions on our FIN being acknowledged.
+	finAcked := c.finSent && seqGT(ack, c.finSeq)
+	switch c.state {
+	case StateFinWait1:
+		if finAcked {
+			c.state = StateFinWait2
+		}
+	case StateClosing:
+		if finAcked {
+			c.enterTimeWait()
+		}
+	case StateLastAck:
+		if finAcked {
+			c.teardown(nil)
+			return
+		}
+	}
+	c.output(t)
+}
+
+func (c *Conn) hasUnackedData() bool {
+	return c.snd.nxt != c.snd.una
+}
+
+// processText delivers in-order payload, buffers out-of-order segments, and
+// handles the peer's FIN.
+func (c *Conn) processText(t *sim.Task, s seg) {
+	switch c.state {
+	case StateEstablished, StateFinWait1, StateFinWait2:
+	default:
+		return
+	}
+	fin := s.flags&view.TCPFin != 0
+	if len(s.payload) == 0 && !fin {
+		return
+	}
+	if seqGT(s.seq, c.rcv.nxt) {
+		// Out of order: buffer and send an immediate duplicate ACK so
+		// the sender's fast-retransmit counter advances.
+		c.bufferOOO(s)
+		c.sendACK(t)
+		return
+	}
+	// Trim any already-received prefix.
+	payload := s.payload
+	if seqLT(s.seq, c.rcv.nxt) {
+		skip := c.rcv.nxt - s.seq
+		if skip >= uint32(len(payload)) {
+			if !fin || seqGT(s.seq+s.segTextLen(), c.rcv.nxt) {
+				// Possibly a bare retransmitted FIN; fall through.
+				payload = nil
+			} else {
+				c.sendACK(t)
+				return
+			}
+		} else {
+			payload = payload[skip:]
+		}
+	}
+	c.deliver(t, payload)
+	if fin {
+		c.rcv.nxt++ // the FIN occupies one sequence number
+	}
+	// Drain any contiguous out-of-order segments.
+	fin = c.drainOOO(t) || fin
+	if fin {
+		c.peerFin(t)
+		return
+	}
+	// ACK strategy: every second full segment immediately, else delayed.
+	if uint32(len(s.payload)) >= c.mss {
+		if c.ackTimer != nil && !c.ackTimer.Stopped() {
+			c.sendACK(t)
+		} else {
+			c.scheduleDelayedACK()
+		}
+	} else {
+		c.scheduleDelayedACK()
+	}
+}
+
+// deliver hands in-order bytes to the application, or queues them (shrinking
+// the advertised window) while delivery is paused.
+func (c *Conn) deliver(t *sim.Task, payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	c.rcv.nxt += uint32(len(payload))
+	c.stats.BytesRcvd += uint64(len(payload))
+	if c.paused {
+		c.rcvBuf = append(c.rcvBuf, payload...)
+		c.updateRcvWnd()
+		return
+	}
+	if c.opts.OnRecv != nil {
+		c.opts.OnRecv(t, c, payload)
+	}
+}
+
+// bufferOOO stores an out-of-order segment (bounded; drops beyond the cap).
+func (c *Conn) bufferOOO(s seg) {
+	if len(c.ooo) >= maxOOOSegs {
+		c.stats.OOODropped++
+		return
+	}
+	for _, o := range c.ooo {
+		if o.seq == s.seq {
+			return // duplicate
+		}
+	}
+	c.stats.OOOBuffered++
+	p := append([]byte(nil), s.payload...)
+	c.ooo = append(c.ooo, oooSeg{seq: s.seq, payload: p, fin: s.flags&view.TCPFin != 0})
+	sort.Slice(c.ooo, func(i, j int) bool { return seqLT(c.ooo[i].seq, c.ooo[j].seq) })
+}
+
+// drainOOO delivers buffered segments that have become contiguous; it
+// reports whether a buffered FIN was consumed.
+func (c *Conn) drainOOO(t *sim.Task) bool {
+	fin := false
+	for len(c.ooo) > 0 {
+		o := c.ooo[0]
+		if seqGT(o.seq, c.rcv.nxt) {
+			break
+		}
+		c.ooo = c.ooo[1:]
+		payload := o.payload
+		if seqLT(o.seq, c.rcv.nxt) {
+			skip := c.rcv.nxt - o.seq
+			if skip >= uint32(len(payload)) {
+				payload = nil
+			} else {
+				payload = payload[skip:]
+			}
+		}
+		c.deliver(t, payload)
+		if o.fin {
+			c.rcv.nxt++
+			fin = true
+		}
+	}
+	return fin
+}
+
+// peerFin runs the state transitions for a received FIN and acks it.
+func (c *Conn) peerFin(t *sim.Task) {
+	if c.opts.OnPeerFin != nil {
+		c.opts.OnPeerFin(t, c)
+	}
+	switch c.state {
+	case StateEstablished:
+		c.state = StateCloseWait
+	case StateFinWait1:
+		// Our FIN not yet acked: simultaneous close.
+		c.state = StateClosing
+	case StateFinWait2:
+		c.sendACK(t)
+		c.enterTimeWait()
+		return
+	}
+	c.sendACK(t)
+}

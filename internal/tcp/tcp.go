@@ -1,0 +1,410 @@
+// Package tcp implements the TCP node of the protocol graph: a protocol
+// manager that validates segments and demultiplexes them to connections via
+// guards, and a connection state machine with sliding windows, Jacobson/Karn
+// retransmission timing, slow start, congestion avoidance, and fast
+// retransmit.
+//
+// The paper's Plexus TCP came from a commercial vendor (§4.2); this one is
+// written from scratch, but the architecture point is preserved: the same
+// transport code runs on both OS personalities, demultiplexed by guards in
+// the same protocol graph, and multiple implementations of TCP can coexist
+// for different port sets (§3.1 "TCP-standard vs TCP-special") because each
+// connection's reach is defined entirely by its guard.
+package tcp
+
+import (
+	"errors"
+	"fmt"
+
+	"plexus/internal/event"
+	"plexus/internal/icmp"
+	"plexus/internal/ip"
+	"plexus/internal/mbuf"
+	"plexus/internal/osmodel"
+	"plexus/internal/sim"
+	"plexus/internal/view"
+)
+
+// RecvEvent carries IP datagrams (proto TCP, IP header intact) that passed
+// the TCP layer's validation; connection and listener guards demux on it.
+const RecvEvent event.Name = "TCP.PacketRecv"
+
+// Errors.
+var (
+	// ErrPortInUse reports a bind conflict.
+	ErrPortInUse = errors.New("tcp: port in use")
+	// ErrClosed reports use of a closed connection.
+	ErrClosed = errors.New("tcp: connection closed")
+	// ErrReset reports a connection terminated by RST.
+	ErrReset = errors.New("tcp: connection reset by peer")
+)
+
+// Stats counts manager-level activity.
+type Stats struct {
+	SegsIn      uint64
+	SegsOut     uint64
+	BadChecksum uint64
+	BadHeader   uint64
+	NoMatch     uint64 // segments for no connection (RST territory)
+	RSTsSent    uint64
+	Retransmits uint64
+	FastRexmits uint64
+	DelayedAcks uint64
+}
+
+// Manager is the TCP protocol manager for one host.
+type Manager struct {
+	sim   *sim.Sim
+	ip    *ip.Layer
+	disp  *event.Dispatcher
+	raise event.Raiser
+	cpu   *sim.CPU
+	pool  *mbuf.Pool
+	costs osmodel.Costs
+
+	listeners map[uint16]*Listener
+	conns     map[connKey]*Conn
+	// claimed ports are owned by another implementation of TCP installed
+	// in the graph (paper §3.1: TCP-standard's guard processes all TCP
+	// packets but those destined for TCP-special); segments to or from
+	// them are invisible to this manager.
+	claimed  map[uint16]bool
+	nextPort uint16
+	issSeed  uint32
+	stats    Stats
+
+	requireEphemeral bool
+}
+
+type connKey struct {
+	localPort  uint16
+	remoteAddr view.IP4
+	remotePort uint16
+}
+
+// Config wires a Manager.
+type Config struct {
+	Sim   *sim.Sim
+	IP    *ip.Layer
+	Disp  *event.Dispatcher
+	Raise event.Raiser
+	CPU   *sim.CPU
+	Pool  *mbuf.Pool
+	Costs osmodel.Costs
+	// RequireEphemeral rejects non-EPHEMERAL connection handlers (§3.3).
+	RequireEphemeral bool
+}
+
+// New creates the manager, declares TCP.PacketRecv, and installs the TCP
+// layer's guard/handler on IP.PacketRecv.
+func New(cfg Config) (*Manager, error) {
+	m := &Manager{
+		sim:              cfg.Sim,
+		ip:               cfg.IP,
+		disp:             cfg.Disp,
+		raise:            cfg.Raise,
+		cpu:              cfg.CPU,
+		pool:             cfg.Pool,
+		costs:            cfg.Costs,
+		listeners:        make(map[uint16]*Listener),
+		conns:            make(map[connKey]*Conn),
+		claimed:          make(map[uint16]bool),
+		nextPort:         32768,
+		issSeed:          uint32(cfg.Sim.Rand().Int63()),
+		requireEphemeral: cfg.RequireEphemeral,
+	}
+	if err := cfg.Disp.Declare(RecvEvent, event.Options{RequireEphemeral: cfg.RequireEphemeral}); err != nil {
+		return nil, err
+	}
+	guard := func(t *sim.Task, pkt *mbuf.Mbuf) bool {
+		if !icmp.ProtoGuard(view.IPProtoTCP)(t, pkt) {
+			return false
+		}
+		if len(m.claimed) == 0 {
+			return true
+		}
+		s, ok := parseSeg(pkt)
+		return ok && !m.claimed[s.dstPort] && !m.claimed[s.srcPort]
+	}
+	_, err := cfg.Disp.Install(ip.RecvEvent, guard,
+		event.Ephemeral("tcp.input", m.input), 0)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Stats returns a snapshot of counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// Claim cedes a port to another TCP implementation in the graph: this
+// manager's guard stops matching segments to or from it. It fails if the
+// port is in local use.
+func (m *Manager) Claim(port uint16) error {
+	if _, used := m.listeners[port]; used {
+		return fmt.Errorf("%w: %d", ErrPortInUse, port)
+	}
+	for k := range m.conns {
+		if k.localPort == port {
+			return fmt.Errorf("%w: %d", ErrPortInUse, port)
+		}
+	}
+	m.claimed[port] = true
+	return nil
+}
+
+// Unclaim returns a claimed port to this manager.
+func (m *Manager) Unclaim(port uint16) { delete(m.claimed, port) }
+
+// LocalAddr returns the host's IP address.
+func (m *Manager) LocalAddr() view.IP4 { return m.ip.Addr() }
+
+// MSS returns the maximum segment size for the interface.
+func (m *Manager) MSS() int { return m.ip.MTU() - view.IPv4MinHdrLen - view.TCPMinHdrLen }
+
+// input validates a TCP segment and raises TCP.PacketRecv; segments matching
+// no guard draw an RST.
+func (m *Manager) input(t *sim.Task, pkt *mbuf.Mbuf) {
+	t.Charge(m.costs.TCPProc)
+	m.stats.SegsIn++
+	ipv, err := view.IPv4(pkt.Bytes())
+	if err != nil {
+		m.stats.BadHeader++
+		pkt.Free()
+		return
+	}
+	hl := ipv.HdrLen()
+	segLen := ipv.TotalLen() - hl
+	if segLen < view.TCPMinHdrLen {
+		m.stats.BadHeader++
+		pkt.Free()
+		return
+	}
+	t.ChargeBytes(segLen, m.costs.ChecksumPerByte)
+	a := view.PseudoHeader(ipv.Src(), ipv.Dst(), view.IPProtoTCP, segLen)
+	if err := ip.ChecksumChain(&a, pkt, hl, segLen); err != nil || a.Fold() != 0 {
+		m.stats.BadChecksum++
+		pkt.Free()
+		return
+	}
+	if m.raise.Raise(t, RecvEvent, pkt) == 0 {
+		m.stats.NoMatch++
+		m.sendRSTFor(t, pkt)
+		pkt.Free()
+	}
+}
+
+// seg is a parsed incoming segment.
+type seg struct {
+	src     view.IP4
+	dst     view.IP4
+	srcPort uint16
+	dstPort uint16
+	seq     uint32
+	ack     uint32
+	flags   uint8
+	wnd     uint32
+	payload []byte
+}
+
+// parseSeg extracts the segment from an IP datagram packet.
+func parseSeg(pkt *mbuf.Mbuf) (seg, bool) {
+	ipv, err := view.IPv4(pkt.Bytes())
+	if err != nil {
+		return seg{}, false
+	}
+	hl := ipv.HdrLen()
+	segLen := ipv.TotalLen() - hl
+	raw, err := pkt.CopyData(hl, segLen)
+	if err != nil {
+		return seg{}, false
+	}
+	tv, err := view.TCP(raw)
+	if err != nil {
+		return seg{}, false
+	}
+	return seg{
+		src:     ipv.Src(),
+		dst:     ipv.Dst(),
+		srcPort: tv.SrcPort(),
+		dstPort: tv.DstPort(),
+		seq:     tv.Seq(),
+		ack:     tv.Ack(),
+		flags:   tv.Flags(),
+		wnd:     uint32(tv.Window()),
+		payload: raw[tv.DataOff():],
+	}, true
+}
+
+// segTextLen returns the sequence-space length of a segment (payload plus
+// SYN/FIN flags).
+func (s seg) segTextLen() uint32 {
+	n := uint32(len(s.payload))
+	if s.flags&view.TCPSyn != 0 {
+		n++
+	}
+	if s.flags&view.TCPFin != 0 {
+		n++
+	}
+	return n
+}
+
+// sendRSTFor answers a segment that matched nothing (RFC 793 p.36).
+func (m *Manager) sendRSTFor(t *sim.Task, pkt *mbuf.Mbuf) {
+	s, ok := parseSeg(pkt)
+	if !ok || s.flags&view.TCPRst != 0 {
+		return
+	}
+	m.stats.RSTsSent++
+	if s.flags&view.TCPAck != 0 {
+		m.sendSegment(t, s.dstPort, s.src, s.srcPort, s.ack, 0, view.TCPRst, 0, nil)
+	} else {
+		m.sendSegment(t, s.dstPort, s.src, s.srcPort, 0, s.seq+s.segTextLen(), view.TCPRst|view.TCPAck, 0, nil)
+	}
+}
+
+// sendSegment builds and transmits one TCP segment.
+func (m *Manager) sendSegment(t *sim.Task, srcPort uint16, dst view.IP4, dstPort uint16, seqNum, ackNum uint32, flags uint8, wnd uint32, payload []byte) {
+	m.stats.SegsOut++
+	buf := make([]byte, view.TCPMinHdrLen+len(payload))
+	copy(buf[view.TCPMinHdrLen:], payload)
+	raw := buf
+	raw[12] = 5 << 4 // data offset 20
+	v, err := view.TCP(raw)
+	if err != nil {
+		return
+	}
+	v.SetSrcPort(srcPort)
+	v.SetDstPort(dstPort)
+	v.SetSeq(seqNum)
+	v.SetAck(ackNum)
+	v.SetFlags(flags)
+	if wnd > 65535 {
+		wnd = 65535
+	}
+	v.SetWindow(uint16(wnd))
+	v.SetChecksum(0)
+	a := view.PseudoHeader(m.ip.Addr(), dst, view.IPProtoTCP, len(buf))
+	a.Add(buf)
+	v.SetChecksum(a.Fold())
+	t.Charge(m.costs.TCPProc)
+	t.ChargeBytes(len(buf), m.costs.ChecksumPerByte)
+	seg := m.pool.FromBytes(buf, 64)
+	if err := m.ip.Send(t, view.IP4{}, dst, view.IPProtoTCP, seg); err != nil {
+		m.sim.Tracef(sim.TraceProto, "tcp: segment send failed: %v", err)
+	}
+}
+
+// allocPort picks a free local port for an active open.
+func (m *Manager) allocPort() (uint16, error) {
+	for i := 0; i < 16384; i++ {
+		p := m.nextPort
+		m.nextPort++
+		if m.nextPort == 49152 {
+			m.nextPort = 32768
+		}
+		if _, used := m.listeners[p]; used {
+			continue
+		}
+		inUse := false
+		for k := range m.conns {
+			if k.localPort == p {
+				inUse = true
+				break
+			}
+		}
+		if !inUse {
+			return p, nil
+		}
+	}
+	return 0, errors.New("tcp: out of ports")
+}
+
+// iss generates an initial send sequence.
+func (m *Manager) iss() uint32 {
+	m.issSeed += 64021 // RFC 793's 4µs clock, loosely
+	return m.issSeed
+}
+
+// Listener accepts incoming connections on a port.
+type Listener struct {
+	mgr     *Manager
+	port    uint16
+	binding *event.Binding
+	accept  func(t *sim.Task, c *Conn)
+	opts    ConnOptions
+	closed  bool
+}
+
+// Listen binds a passive endpoint: a guard matching SYNs (and continuing
+// segments of not-yet-accepted connections) for the port.
+func (m *Manager) Listen(port uint16, opts ConnOptions, accept func(t *sim.Task, c *Conn)) (*Listener, error) {
+	if _, used := m.listeners[port]; used {
+		return nil, fmt.Errorf("%w: %d", ErrPortInUse, port)
+	}
+	l := &Listener{mgr: m, port: port, accept: accept, opts: opts}
+	guard := func(t *sim.Task, pkt *mbuf.Mbuf) bool {
+		s, ok := parseSeg(pkt)
+		if !ok || s.dstPort != port {
+			return false
+		}
+		// Established connections have their own bindings, installed
+		// before this one's turn only for new peers: reject segments
+		// belonging to an existing connection.
+		_, exists := m.conns[connKey{port, s.src, s.srcPort}]
+		return !exists
+	}
+	h := event.Handler{Name: fmt.Sprintf("tcp.listen:%d", port), Fn: l.input, Ephemeral: true}
+	b, err := m.disp.Install(RecvEvent, guard, h, 0)
+	if err != nil {
+		return nil, err
+	}
+	l.binding = b
+	m.listeners[port] = l
+	return l, nil
+}
+
+// Port returns the listening port.
+func (l *Listener) Port() uint16 { return l.port }
+
+// SetConnOptions replaces the options applied to subsequently accepted
+// connections (already-open connections are unaffected).
+func (l *Listener) SetConnOptions(opts ConnOptions) { l.opts = opts }
+
+// Close stops accepting connections.
+func (l *Listener) Close() {
+	if l.closed {
+		return
+	}
+	l.closed = true
+	l.mgr.disp.Uninstall(l.binding)
+	delete(l.mgr.listeners, l.port)
+}
+
+// input handles a segment for the listening port with no matching connection.
+func (l *Listener) input(t *sim.Task, pkt *mbuf.Mbuf) {
+	defer pkt.Free()
+	s, ok := parseSeg(pkt)
+	if !ok {
+		return
+	}
+	if s.flags&view.TCPRst != 0 {
+		return
+	}
+	if s.flags&view.TCPAck != 0 {
+		l.mgr.stats.RSTsSent++
+		l.mgr.sendSegment(t, l.port, s.src, s.srcPort, s.ack, 0, view.TCPRst, 0, nil)
+		return
+	}
+	if s.flags&view.TCPSyn == 0 {
+		return
+	}
+	// Passive open: create the connection in SYN-RECEIVED.
+	c := l.mgr.newConn(l.port, s.src, s.srcPort, l.opts)
+	c.listener = l
+	c.state = StateSynRcvd
+	c.rcv.irs = s.seq
+	c.rcv.nxt = s.seq + 1
+	c.snd.wnd = s.wnd
+	c.sendSYNACK(t)
+}

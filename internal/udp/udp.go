@@ -1,0 +1,460 @@
+// Package udp implements the UDP node of the protocol graph and its protocol
+// manager — the component that §3.1 charges with preventing spoofing and
+// snooping.
+//
+// Anti-snooping: applications never install handlers on UDP.PacketRecv
+// themselves; they ask the manager to Open an endpoint, and the manager
+// installs a guard that matches only that endpoint's port (and, if connected,
+// the remote address), so an extension can observe exactly the packets it is
+// entitled to.
+//
+// Anti-spoofing: an endpoint's Send has no parameter for the source fields at
+// all — the manager overwrites them with the endpoint's identity. For
+// extensions that build their own headers (SendRaw), the manager offers the
+// paper's two policies: overwrite the source fields (fast) or verify them and
+// reject mismatches (useful when debugging protocols).
+package udp
+
+import (
+	"errors"
+	"fmt"
+
+	"plexus/internal/event"
+	"plexus/internal/icmp"
+	"plexus/internal/ip"
+	"plexus/internal/mbuf"
+	"plexus/internal/osmodel"
+	"plexus/internal/sim"
+	"plexus/internal/view"
+)
+
+// RecvEvent carries IP datagrams (proto UDP, IP header intact) that passed
+// the UDP layer's validation; endpoint guards demultiplex on it.
+const RecvEvent event.Name = "UDP.PacketRecv"
+
+// SendEvent is raised (when observed) for every outgoing UDP datagram.
+const SendEvent event.Name = "UDP.PacketSend"
+
+// SpoofPolicy selects how SendRaw treats the source fields (§3.1).
+type SpoofPolicy int
+
+const (
+	// Overwrite stamps the endpoint's identity over the source fields —
+	// "the best performance".
+	Overwrite SpoofPolicy = iota
+	// Verify checks the source fields against the endpoint and rejects
+	// mismatches — "useful for debugging protocols".
+	Verify
+)
+
+// Errors.
+var (
+	// ErrPortInUse reports a bind conflict.
+	ErrPortInUse = errors.New("udp: port in use")
+	// ErrSpoof reports a Verify-policy source mismatch.
+	ErrSpoof = errors.New("udp: source fields do not match endpoint")
+	// ErrClosed reports use of a closed endpoint.
+	ErrClosed = errors.New("udp: endpoint closed")
+)
+
+// Stats counts UDP activity.
+type Stats struct {
+	Sent          uint64
+	Received      uint64
+	Delivered     uint64
+	BadChecksum   uint64
+	BadHeader     uint64
+	NoPort        uint64
+	SpoofsBlocked uint64
+}
+
+// Manager is the UDP protocol manager for one host.
+type Manager struct {
+	sim   *sim.Sim
+	ip    *ip.Layer
+	icmp  *icmp.Layer // may be nil; used for port-unreachable
+	disp  *event.Dispatcher
+	raise event.Raiser
+	pool  *mbuf.Pool
+	costs osmodel.Costs
+
+	ports map[uint16]*Endpoint
+	// claimed ports belong to another UDP implementation in the graph;
+	// this manager's guard skips them entirely.
+	claimed       map[uint16]bool
+	nextEphemeral uint16
+	stats         Stats
+	// requireEphemeral propagates the stack's interrupt-mode policy to
+	// endpoint handler installation.
+	requireEphemeral bool
+}
+
+// Config wires a Manager.
+type Config struct {
+	Sim   *sim.Sim
+	IP    *ip.Layer
+	ICMP  *icmp.Layer
+	Disp  *event.Dispatcher
+	Raise event.Raiser
+	Pool  *mbuf.Pool
+	Costs osmodel.Costs
+	// RequireEphemeral rejects non-EPHEMERAL endpoint receive handlers,
+	// the §3.3 policy for interrupt-level dispatch.
+	RequireEphemeral bool
+}
+
+// New creates the manager, declares the UDP events, and installs the UDP
+// layer's guard/handler on IP.PacketRecv.
+func New(cfg Config) (*Manager, error) {
+	m := &Manager{
+		sim:              cfg.Sim,
+		ip:               cfg.IP,
+		icmp:             cfg.ICMP,
+		disp:             cfg.Disp,
+		raise:            cfg.Raise,
+		pool:             cfg.Pool,
+		costs:            cfg.Costs,
+		ports:            make(map[uint16]*Endpoint),
+		claimed:          make(map[uint16]bool),
+		nextEphemeral:    49152,
+		requireEphemeral: cfg.RequireEphemeral,
+	}
+	if err := cfg.Disp.Declare(RecvEvent, event.Options{RequireEphemeral: cfg.RequireEphemeral}); err != nil {
+		return nil, err
+	}
+	if err := cfg.Disp.Declare(SendEvent, event.Options{}); err != nil {
+		return nil, err
+	}
+	guard := func(t *sim.Task, pkt *mbuf.Mbuf) bool {
+		if !icmp.ProtoGuard(view.IPProtoUDP)(t, pkt) {
+			return false
+		}
+		if len(m.claimed) == 0 {
+			return true
+		}
+		ipv, err := view.IPv4(pkt.Bytes())
+		if err != nil {
+			return false
+		}
+		hdr, err := pkt.CopyData(ipv.HdrLen(), view.UDPHdrLen)
+		if err != nil {
+			return false
+		}
+		uv, _ := view.UDP(hdr)
+		return !m.claimed[uv.DstPort()] && !m.claimed[uv.SrcPort()]
+	}
+	_, err := cfg.Disp.Install(ip.RecvEvent, guard,
+		event.Ephemeral("udp.input", m.input), 0)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Stats returns a snapshot of counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// Claim cedes a port to another UDP implementation in the graph. It fails if
+// the port is locally bound.
+func (m *Manager) Claim(port uint16) error {
+	if _, used := m.ports[port]; used {
+		return fmt.Errorf("%w: %d", ErrPortInUse, port)
+	}
+	m.claimed[port] = true
+	return nil
+}
+
+// Unclaim returns a claimed port to this manager.
+func (m *Manager) Unclaim(port uint16) { delete(m.claimed, port) }
+
+// LocalAddr returns the host's IP address.
+func (m *Manager) LocalAddr() view.IP4 { return m.ip.Addr() }
+
+// input validates a UDP datagram and raises UDP.PacketRecv for endpoint
+// guards; datagrams for closed ports trigger port-unreachable.
+func (m *Manager) input(t *sim.Task, pkt *mbuf.Mbuf) {
+	t.Charge(m.costs.UDPProc)
+	m.stats.Received++
+	ipv, err := view.IPv4(pkt.Bytes())
+	if err != nil {
+		m.stats.BadHeader++
+		pkt.Free()
+		return
+	}
+	hl := ipv.HdrLen()
+	hdr, err := pkt.CopyData(hl, view.UDPHdrLen)
+	if err != nil {
+		m.stats.BadHeader++
+		pkt.Free()
+		return
+	}
+	uv, _ := view.UDP(hdr)
+	ulen := uv.Length()
+	if ulen < view.UDPHdrLen || hl+ulen > pkt.PktLen() {
+		m.stats.BadHeader++
+		pkt.Free()
+		return
+	}
+	// Verify the checksum when the sender computed one (0 = disabled, the
+	// paper's §1.1 application-specific variant).
+	if uv.Checksum() != 0 {
+		t.ChargeBytes(ulen, m.costs.ChecksumPerByte)
+		a := view.PseudoHeader(ipv.Src(), ipv.Dst(), view.IPProtoUDP, ulen)
+		if err := ip.ChecksumChain(&a, pkt, hl, ulen); err != nil || a.Fold() != 0 {
+			m.stats.BadChecksum++
+			pkt.Free()
+			return
+		}
+	}
+	if m.raise.Raise(t, RecvEvent, pkt) == 0 {
+		m.stats.NoPort++
+		if m.icmp != nil {
+			if err := m.icmp.SendUnreachable(t, pkt); err != nil {
+				m.sim.Tracef(sim.TraceProto, "udp: unreachable send failed: %v", err)
+			}
+		}
+		pkt.Free()
+		return
+	}
+	m.stats.Delivered++
+}
+
+// allocEphemeral picks a free high port.
+func (m *Manager) allocEphemeral() (uint16, error) {
+	for i := 0; i < 16384; i++ {
+		p := m.nextEphemeral
+		m.nextEphemeral++
+		if m.nextEphemeral == 0 {
+			m.nextEphemeral = 49152
+		}
+		if _, used := m.ports[p]; !used && p != 0 {
+			return p, nil
+		}
+	}
+	return 0, errors.New("udp: out of ephemeral ports")
+}
+
+// RecvFunc receives a delivered datagram: the payload (read-only packet
+// positioned at the payload bytes), the source address/port, and the task.
+type RecvFunc func(t *sim.Task, payload *mbuf.Mbuf, src view.IP4, srcPort uint16)
+
+// EndpointOptions configure Open.
+type EndpointOptions struct {
+	// Port 0 allocates an ephemeral port.
+	Port uint16
+	// Remote/RemotePort, when nonzero, "connect" the endpoint: the guard
+	// also filters on the peer, and datagrams from others are invisible.
+	Remote     view.IP4
+	RemotePort uint16
+	// DisableChecksum omits the UDP checksum on sends — the §1.1
+	// application-specific optimization for audio/video.
+	DisableChecksum bool
+	// SpoofPolicy applies to SendRaw (default Overwrite).
+	SpoofPolicy SpoofPolicy
+	// Ephemeral marks the receive handler EPHEMERAL (required on
+	// interrupt-dispatch stacks).
+	Ephemeral bool
+	// Allotment bounds each receive-handler invocation (0 = unlimited).
+	Allotment sim.Time
+	// AcceptMulticast also matches datagrams addressed to multicast
+	// groups (the network-video client sets this).
+	AcceptMulticast bool
+}
+
+// Endpoint is the capability to send and receive on a bound UDP port. It is
+// handed out only by the manager; holding it is holding the §3.1 "right to
+// raise the PacketSend event".
+type Endpoint struct {
+	mgr     *Manager
+	opts    EndpointOptions
+	port    uint16
+	binding *event.Binding
+	recv    RecvFunc
+	closed  bool
+}
+
+// Open binds a port and installs the endpoint's guard and handler on
+// UDP.PacketRecv on the application's behalf.
+func (m *Manager) Open(opts EndpointOptions, recv RecvFunc) (*Endpoint, error) {
+	port := opts.Port
+	if port == 0 {
+		p, err := m.allocEphemeral()
+		if err != nil {
+			return nil, err
+		}
+		port = p
+	} else if _, used := m.ports[port]; used {
+		return nil, fmt.Errorf("%w: %d", ErrPortInUse, port)
+	} else if m.claimed[port] {
+		return nil, fmt.Errorf("%w: %d (claimed by another implementation)", ErrPortInUse, port)
+	}
+	e := &Endpoint{mgr: m, opts: opts, port: port, recv: recv}
+	guard := e.guard()
+	h := event.Handler{Name: fmt.Sprintf("udp.endpoint:%d", port), Fn: e.deliver, Ephemeral: opts.Ephemeral}
+	b, err := m.disp.Install(RecvEvent, guard, h, opts.Allotment)
+	if err != nil {
+		return nil, err
+	}
+	e.binding = b
+	m.ports[port] = e
+	return e, nil
+}
+
+// guard builds the endpoint's packet filter: destination port must match, the
+// destination address must be ours (or multicast if accepted), and for
+// connected endpoints the source must be the peer. This is the anti-snooping
+// edge of Figure 1.
+func (e *Endpoint) guard() event.Guard {
+	return func(t *sim.Task, pkt *mbuf.Mbuf) bool {
+		ipv, err := view.IPv4(pkt.Bytes())
+		if err != nil {
+			return false
+		}
+		hl := ipv.HdrLen()
+		hdr, err := pkt.CopyData(hl, view.UDPHdrLen)
+		if err != nil {
+			return false
+		}
+		uv, _ := view.UDP(hdr)
+		if uv.DstPort() != e.port {
+			return false
+		}
+		dst := ipv.Dst()
+		if dst != e.mgr.ip.Addr() && !dst.IsBroadcast() &&
+			!(e.opts.AcceptMulticast && dst.IsMulticast()) {
+			return false
+		}
+		if e.opts.Remote != (view.IP4{}) && ipv.Src() != e.opts.Remote {
+			return false
+		}
+		if e.opts.RemotePort != 0 && uv.SrcPort() != e.opts.RemotePort {
+			return false
+		}
+		return true
+	}
+}
+
+// deliver strips headers and hands the payload to the application.
+func (e *Endpoint) deliver(t *sim.Task, pkt *mbuf.Mbuf) {
+	ipv, err := view.IPv4(pkt.Bytes())
+	if err != nil {
+		pkt.Free()
+		return
+	}
+	hl := ipv.HdrLen()
+	hdr, err := pkt.CopyData(hl, view.UDPHdrLen)
+	if err != nil {
+		pkt.Free()
+		return
+	}
+	uv, _ := view.UDP(hdr)
+	src, srcPort := ipv.Src(), uv.SrcPort()
+	// Trim trailing padding beyond the UDP length, then strip the IP and
+	// UDP headers so the application sees exactly its payload.
+	if extra := pkt.PktLen() - hl - uv.Length(); extra > 0 {
+		pkt.Adj(-extra)
+	}
+	pkt.Adj(hl + view.UDPHdrLen)
+	if e.recv != nil {
+		e.recv(t, pkt, src, srcPort)
+	} else {
+		pkt.Free()
+	}
+}
+
+// Port returns the endpoint's bound port.
+func (e *Endpoint) Port() uint16 { return e.port }
+
+// Manager returns the owning manager.
+func (e *Endpoint) Manager() *Manager { return e.mgr }
+
+// Send transmits payload (consumed) to dst:dstPort. The source fields are the
+// endpoint's identity; there is no way to spoof them through this interface.
+func (e *Endpoint) Send(t *sim.Task, dst view.IP4, dstPort uint16, payload *mbuf.Mbuf) error {
+	if e.closed {
+		payload.Free()
+		return ErrClosed
+	}
+	t.Charge(e.mgr.costs.UDPProc)
+	seg, err := payload.Prepend(view.UDPHdrLen)
+	if err != nil {
+		payload.Free()
+		return fmt.Errorf("udp: %w", err)
+	}
+	b, err := seg.MutableBytes()
+	if err != nil {
+		seg.Free()
+		return fmt.Errorf("udp: %w", err)
+	}
+	uv, err := view.UDP(b)
+	if err != nil {
+		seg.Free()
+		return err
+	}
+	uv.SetSrcPort(e.port)
+	uv.SetDstPort(dstPort)
+	uv.SetLength(seg.PktLen())
+	uv.SetChecksum(0)
+	if !e.opts.DisableChecksum {
+		t.ChargeBytes(seg.PktLen(), e.mgr.costs.ChecksumPerByte)
+		a := view.PseudoHeader(e.mgr.ip.Addr(), dst, view.IPProtoUDP, seg.PktLen())
+		if err := ip.ChecksumChain(&a, seg, 0, seg.PktLen()); err != nil {
+			seg.Free()
+			return err
+		}
+		c := a.Fold()
+		if c == 0 {
+			c = 0xffff // RFC 768: transmitted 0 means "no checksum"
+		}
+		uv.SetChecksum(c)
+	}
+	e.mgr.stats.Sent++
+	if e.mgr.disp.HandlerCount(SendEvent) > 0 {
+		e.mgr.raise.Raise(t, SendEvent, seg)
+	}
+	return e.mgr.ip.Send(t, view.IP4{}, dst, view.IPProtoUDP, seg)
+}
+
+// SendRaw transmits a datagram whose UDP header the caller already built
+// (seg starts at the UDP header; consumed). The manager applies the
+// endpoint's spoof policy to the source port before transmission.
+func (e *Endpoint) SendRaw(t *sim.Task, dst view.IP4, seg *mbuf.Mbuf) error {
+	if e.closed {
+		seg.Free()
+		return ErrClosed
+	}
+	t.Charge(e.mgr.costs.UDPProc)
+	b, err := seg.MutableBytes()
+	if err != nil {
+		seg.Free()
+		return fmt.Errorf("udp: %w", err)
+	}
+	uv, err := view.UDP(b)
+	if err != nil {
+		seg.Free()
+		return err
+	}
+	switch e.opts.SpoofPolicy {
+	case Verify:
+		if uv.SrcPort() != e.port {
+			e.mgr.stats.SpoofsBlocked++
+			seg.Free()
+			return fmt.Errorf("%w: port %d on endpoint %d", ErrSpoof, uv.SrcPort(), e.port)
+		}
+	default: // Overwrite
+		uv.SetSrcPort(e.port)
+	}
+	e.mgr.stats.Sent++
+	return e.mgr.ip.Send(t, view.IP4{}, dst, view.IPProtoUDP, seg)
+}
+
+// Close releases the port and uninstalls the endpoint's handler. Extensions
+// come and go with their applications (§1: runtime adaptation).
+func (e *Endpoint) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	e.mgr.disp.Uninstall(e.binding)
+	delete(e.mgr.ports, e.port)
+}

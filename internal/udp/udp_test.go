@@ -1,0 +1,273 @@
+package udp_test
+
+import (
+	"errors"
+	"testing"
+
+	"plexus/internal/mbuf"
+	"plexus/internal/netdev"
+	"plexus/internal/osmodel"
+	"plexus/internal/plexus"
+	"plexus/internal/sim"
+	"plexus/internal/udp"
+	"plexus/internal/view"
+)
+
+func spin(name string) plexus.HostSpec {
+	return plexus.HostSpec{Name: name, Personality: osmodel.SPIN, Dispatch: osmodel.DispatchInterrupt}
+}
+
+func pair(t *testing.T) (*plexus.Network, *plexus.Stack, *plexus.Stack) {
+	t.Helper()
+	n, a, b, err := plexus.TwoHosts(1, netdev.EthernetModel(), spin("a"), spin("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, a, b
+}
+
+func TestPortInUse(t *testing.T) {
+	_, a, _ := pair(t)
+	if _, err := a.UDP.Open(udp.EndpointOptions{Port: 100, Ephemeral: true}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.UDP.Open(udp.EndpointOptions{Port: 100, Ephemeral: true}, nil); !errors.Is(err, udp.ErrPortInUse) {
+		t.Fatalf("err = %v, want ErrPortInUse", err)
+	}
+}
+
+func TestEphemeralAllocationUniqueness(t *testing.T) {
+	_, a, _ := pair(t)
+	seen := map[uint16]bool{}
+	for i := 0; i < 100; i++ {
+		ep, err := a.UDP.Open(udp.EndpointOptions{Ephemeral: true}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[ep.Port()] {
+			t.Fatalf("duplicate ephemeral port %d", ep.Port())
+		}
+		seen[ep.Port()] = true
+	}
+}
+
+func TestClosedEndpointSendFails(t *testing.T) {
+	n, a, b := pair(t)
+	ep, err := a.UDP.Open(udp.EndpointOptions{Ephemeral: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep.Close()
+	ep.Close() // idempotent
+	a.Spawn("send", func(task *sim.Task) {
+		m := a.Host.Pool.FromBytes([]byte("x"), 64)
+		if err := ep.Send(task, b.Addr(), 9, m); !errors.Is(err, udp.ErrClosed) {
+			t.Errorf("err = %v, want ErrClosed", err)
+		}
+	})
+	n.Sim.Run()
+	if inuse := a.Host.Pool.Stats().InUse; inuse != 0 {
+		t.Errorf("leaked %d mbufs on closed-endpoint send", inuse)
+	}
+}
+
+// buildRawSegment assembles a UDP header + payload claiming srcPort.
+func buildRawSegment(st *plexus.Stack, srcPort, dstPort uint16, payload []byte) *mbuf.Mbuf {
+	seg := st.Host.Pool.FromBytes(make([]byte, view.UDPHdrLen+len(payload)), 64)
+	b, _ := seg.MutableBytes()
+	uv, _ := view.UDP(b)
+	uv.SetSrcPort(srcPort)
+	uv.SetDstPort(dstPort)
+	uv.SetLength(seg.PktLen())
+	copy(b[view.UDPHdrLen:], payload)
+	return seg
+}
+
+// SendRaw under the two §3.1 anti-spoofing policies.
+func TestSendRawOverwritePolicy(t *testing.T) {
+	n, a, b := pair(t)
+	var gotSrcPort uint16
+	if _, err := b.UDP.Open(udp.EndpointOptions{Port: 9, Ephemeral: true},
+		func(task *sim.Task, payload *mbuf.Mbuf, src view.IP4, srcPort uint16) {
+			gotSrcPort = srcPort
+			payload.Free()
+		}); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := a.UDP.Open(udp.EndpointOptions{Ephemeral: true, SpoofPolicy: udp.Overwrite}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Spawn("send", func(task *sim.Task) {
+		// Claim a forged source port: the manager overwrites it.
+		seg := buildRawSegment(a, 31337, 9, []byte("spoofed"))
+		if err := ep.SendRaw(task, b.Addr(), seg); err != nil {
+			t.Errorf("SendRaw: %v", err)
+		}
+	})
+	n.Sim.Run()
+	if gotSrcPort != ep.Port() {
+		t.Fatalf("receiver saw source port %d, want the endpoint's %d (overwrite policy)", gotSrcPort, ep.Port())
+	}
+}
+
+func TestSendRawVerifyPolicyBlocksSpoof(t *testing.T) {
+	n, a, b := pair(t)
+	received := 0
+	if _, err := b.UDP.Open(udp.EndpointOptions{Port: 9, Ephemeral: true},
+		func(task *sim.Task, payload *mbuf.Mbuf, src view.IP4, srcPort uint16) {
+			received++
+			payload.Free()
+		}); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := a.UDP.Open(udp.EndpointOptions{Ephemeral: true, SpoofPolicy: udp.Verify}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spoofErr, okErr error
+	a.Spawn("send", func(task *sim.Task) {
+		spoofErr = ep.SendRaw(task, b.Addr(), buildRawSegment(a, 31337, 9, []byte("forged")))
+		okErr = ep.SendRaw(task, b.Addr(), buildRawSegment(a, ep.Port(), 9, []byte("legit")))
+	})
+	n.Sim.Run()
+	if !errors.Is(spoofErr, udp.ErrSpoof) {
+		t.Fatalf("spoofed SendRaw: err = %v, want ErrSpoof", spoofErr)
+	}
+	if okErr != nil {
+		t.Fatalf("legitimate SendRaw failed: %v", okErr)
+	}
+	if received != 1 {
+		t.Fatalf("received = %d, want only the legitimate datagram", received)
+	}
+	if a.UDP.Stats().SpoofsBlocked != 1 {
+		t.Errorf("SpoofsBlocked = %d", a.UDP.Stats().SpoofsBlocked)
+	}
+}
+
+// A datagram whose UDP checksum is corrupted in flight must be dropped.
+func TestChecksumValidationDrops(t *testing.T) {
+	n, a, b := pair(t)
+	received := 0
+	if _, err := b.OpenUDP(plexus.UDPAppOptions{Port: 9}, func(*sim.Task, []byte, view.IP4, uint16) {
+		received++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	n.Link.SetMangleFn(func(wire []byte) {
+		if len(wire) > 45 {
+			wire[45] ^= 0x01 // flip a payload bit; UDP checksum must catch it
+		}
+	})
+	capp, err := a.OpenUDP(plexus.UDPAppOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Spawn("send", func(task *sim.Task) {
+		_ = capp.Send(task, b.Addr(), 9, []byte("checksummed"))
+	})
+	n.Sim.Run()
+	if received != 0 {
+		t.Fatal("corrupted datagram delivered")
+	}
+	if b.UDP.Stats().BadChecksum != 1 {
+		t.Errorf("BadChecksum = %d", b.UDP.Stats().BadChecksum)
+	}
+}
+
+// With the checksum disabled, the same corruption goes undetected — the
+// application opted out of integrity (paper §1.1: "data integrity is
+// optional").
+func TestChecksumDisabledMissesCorruption(t *testing.T) {
+	n, a, b := pair(t)
+	var got []byte
+	if _, err := b.OpenUDP(plexus.UDPAppOptions{Port: 9}, func(task *sim.Task, data []byte, src view.IP4, srcPort uint16) {
+		got = data
+	}); err != nil {
+		t.Fatal(err)
+	}
+	n.Link.SetMangleFn(func(wire []byte) {
+		if len(wire) > 45 {
+			wire[45] ^= 0x01
+		}
+	})
+	capp, err := a.OpenUDP(plexus.UDPAppOptions{DisableChecksum: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Spawn("send", func(task *sim.Task) {
+		_ = capp.Send(task, b.Addr(), 9, []byte("unprotected"))
+	})
+	n.Sim.Run()
+	if got == nil {
+		t.Fatal("checksum-disabled datagram not delivered")
+	}
+	if string(got) == "unprotected" {
+		t.Fatal("mangle did not corrupt the payload; test is vacuous")
+	}
+}
+
+// Claimed ports are invisible to the manager.
+func TestClaimedPortInvisible(t *testing.T) {
+	n, a, b := pair(t)
+	if err := b.UDP.Claim(9); err != nil {
+		t.Fatal(err)
+	}
+	received := 0
+	// Binding the claimed port must fail: it belongs to the other
+	// implementation now.
+	if _, err := b.UDP.Open(udp.EndpointOptions{Port: 9, Ephemeral: true}, nil); !errors.Is(err, udp.ErrPortInUse) {
+		t.Fatalf("claimed port bindable: %v", err)
+	}
+	capp, err := a.OpenUDP(plexus.UDPAppOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Spawn("send", func(task *sim.Task) {
+		_ = capp.Send(task, b.Addr(), 9, []byte("hidden"))
+	})
+	n.Sim.Run()
+	if received != 0 {
+		t.Fatal("claimed-port datagram reached the manager")
+	}
+	// The manager's guard rejected it wholesale: not even counted as
+	// received, and no port-unreachable generated.
+	if b.UDP.Stats().Received != 0 {
+		t.Errorf("Received = %d, want 0 for claimed port", b.UDP.Stats().Received)
+	}
+	if b.ICMP.Stats().UnreachSent != 0 {
+		t.Errorf("UnreachSent = %d; claimed traffic belongs to another implementation", b.ICMP.Stats().UnreachSent)
+	}
+	b.UDP.Unclaim(9)
+	a.Spawn("send2", func(task *sim.Task) {
+		_ = capp.Send(task, b.Addr(), 9, []byte("visible"))
+	})
+	n.Sim.Run()
+	if b.UDP.Stats().Received != 1 {
+		t.Errorf("after Unclaim, Received = %d", b.UDP.Stats().Received)
+	}
+}
+
+func TestClaimBoundPortFails(t *testing.T) {
+	_, a, _ := pair(t)
+	if _, err := a.UDP.Open(udp.EndpointOptions{Port: 70, Ephemeral: true}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.UDP.Claim(70); !errors.Is(err, udp.ErrPortInUse) {
+		t.Fatalf("err = %v, want ErrPortInUse", err)
+	}
+}
+
+func TestManagerAccessors(t *testing.T) {
+	_, a, _ := pair(t)
+	if a.UDP.LocalAddr() != a.Addr() {
+		t.Error("LocalAddr wrong")
+	}
+	ep, err := a.UDP.Open(udp.EndpointOptions{Port: 123, Ephemeral: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.Port() != 123 || ep.Manager() != a.UDP {
+		t.Error("endpoint accessors wrong")
+	}
+}

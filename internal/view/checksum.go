@@ -1,0 +1,66 @@
+package view
+
+// Internet checksum (RFC 1071), with an accumulator form so transport layers
+// can checksum a pseudo-header followed by a payload that spans mbuf chains
+// without gathering the bytes first.
+
+// Accum accumulates the one's-complement sum of byte runs. The zero value is
+// ready to use. Runs may be added in any chunking; odd-length chunks are
+// handled by carrying the dangling byte.
+type Accum struct {
+	sum uint32
+	odd bool
+}
+
+// Add folds b into the accumulator.
+func (a *Accum) Add(b []byte) {
+	i := 0
+	if a.odd && len(b) > 0 {
+		a.sum += uint32(b[0])
+		a.odd = false
+		i = 1
+	}
+	for ; i+1 < len(b); i += 2 {
+		a.sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if i < len(b) {
+		a.sum += uint32(b[i]) << 8
+		a.odd = true
+	}
+}
+
+// AddUint16 folds one 16-bit value (for pseudo-header fields). It must not be
+// called mid-byte (with an odd total so far).
+func (a *Accum) AddUint16(v uint16) {
+	if a.odd {
+		panic("view: AddUint16 at odd offset")
+	}
+	a.sum += uint32(v)
+}
+
+// Fold finishes the sum and returns the complemented checksum.
+func (a *Accum) Fold() uint16 {
+	s := a.sum
+	for s>>16 != 0 {
+		s = (s & 0xffff) + (s >> 16)
+	}
+	return ^uint16(s)
+}
+
+// Checksum computes the internet checksum of b.
+func Checksum(b []byte) uint16 {
+	var a Accum
+	a.Add(b)
+	return a.Fold()
+}
+
+// PseudoHeader seeds an accumulator with the IPv4 pseudo-header used by UDP
+// and TCP checksums.
+func PseudoHeader(src, dst IP4, proto uint8, length int) Accum {
+	var a Accum
+	a.Add(src[:])
+	a.Add(dst[:])
+	a.AddUint16(uint16(proto))
+	a.AddUint16(uint16(length))
+	return a
+}
