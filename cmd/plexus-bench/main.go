@@ -3,19 +3,28 @@
 // aligned text, one section per experiment, in the same rows/series the
 // paper reports.
 //
+// Experiment cells run concurrently on a worker pool (see internal/bench
+// RunCells); every cell owns its seeded simulator, so the reported rows are
+// byte-identical at any -parallel setting — only the wall clock changes.
+//
 // Usage:
 //
 //	plexus-bench                 # run everything
 //	plexus-bench -exp fig5       # one experiment: fig5 | tput | fig6 | fig7 | ablations
 //	plexus-bench -exp fig5 -fastdriver
 //	plexus-bench -size 2097152   # bulk-transfer size for tput
+//	plexus-bench -parallel 1     # sequential (deterministic baseline)
+//	plexus-bench -json           # also write BENCH_<exp>.json per experiment
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"text/tabwriter"
+	"time"
 
 	"plexus/internal/bench"
 )
@@ -24,24 +33,78 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: all | fig5 | tput | fig6 | fig7 | http | ablations")
 	fast := flag.Bool("fastdriver", false, "use the faster device driver variant (§4.1)")
 	size := flag.Int("size", 1<<20, "bulk transfer size in bytes for -exp tput")
+	parallel := flag.Int("parallel", 0, "experiment cells run concurrently (0 = GOMAXPROCS, 1 = sequential)")
+	jsonOut := flag.Bool("json", false, "write BENCH_<exp>.json with rows, wall-clock, events/sec, allocs/event")
 	flag.Parse()
 
-	run := func(name string, fn func() error) {
+	bench.SetParallelism(*parallel)
+
+	run := func(name string, fn func() (any, error)) {
 		if *exp != "all" && *exp != name {
 			return
 		}
-		if err := fn(); err != nil {
+		bench.ResetEventCount()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		rows, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plexus-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		wall := time.Since(start)
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		if !*jsonOut {
+			return
+		}
+		events := bench.EventCount()
+		allocs := after.Mallocs - before.Mallocs
+		report := benchReport{
+			Experiment:   name,
+			Parallel:     bench.Parallelism(),
+			WallClockSec: wall.Seconds(),
+			SimEvents:    events,
+			Rows:         rows,
+		}
+		if wall > 0 {
+			report.EventsPerSec = float64(events) / wall.Seconds()
+		}
+		if events > 0 {
+			report.AllocsPerEvent = float64(allocs) / float64(events)
+		}
+		if err := writeReport(report); err != nil {
 			fmt.Fprintf(os.Stderr, "plexus-bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
 	}
 
-	run("fig5", func() error { return fig5(*fast) })
-	run("tput", func() error { return tput(*size) })
+	run("fig5", func() (any, error) { return fig5(*fast) })
+	run("tput", func() (any, error) { return tput(*size) })
 	run("fig6", fig6)
 	run("fig7", fig7)
 	run("http", httpDemo)
 	run("ablations", ablations)
+}
+
+// benchReport is the machine-readable record of one experiment, written as
+// BENCH_<exp>.json so the perf trajectory is tracked across PRs.
+type benchReport struct {
+	Experiment     string  `json:"experiment"`
+	Parallel       int     `json:"parallel"`
+	WallClockSec   float64 `json:"wall_clock_sec"`
+	SimEvents      uint64  `json:"sim_events"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	Rows           any     `json:"rows"`
+}
+
+func writeReport(r benchReport) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(fmt.Sprintf("BENCH_%s.json", r.Experiment), append(data, '\n'), 0o644)
 }
 
 func header(title string) {
@@ -52,7 +115,7 @@ func header(title string) {
 	fmt.Println()
 }
 
-func fig5(fast bool) error {
+func fig5(fast bool) (any, error) {
 	title := "Figure 5: UDP round-trip latency, 8-byte packets (µs)"
 	if fast {
 		title += " — faster device driver"
@@ -60,35 +123,35 @@ func fig5(fast bool) error {
 	header(title)
 	rows, err := bench.Fig5(fast)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "device\tsystem\tRTT (µs)")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%s\t%s\t%.0f\n", r.Device, r.System, r.RTT.Micros())
 	}
-	return w.Flush()
+	return rows, w.Flush()
 }
 
-func tput(size int) error {
+func tput(size int) (any, error) {
 	header(fmt.Sprintf("§4.2: TCP throughput, %d-byte transfer (Mb/s)", size))
 	rows, err := bench.Throughput(size)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "device\tsystem\tMb/s")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%s\t%s\t%.1f\n", r.Device, r.System, r.Mbps)
 	}
-	return w.Flush()
+	return rows, w.Flush()
 }
 
-func fig6() error {
+func fig6() (any, error) {
 	header("Figure 6: video server CPU utilization vs client streams (T3)")
 	rows, err := bench.Fig6([]int{1, 5, 10, 15, 20, 25, 30})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "streams\tSPIN/Plexus CPU\tDIGITAL UNIX CPU\tgoodput (Mb/s)")
@@ -99,14 +162,14 @@ func fig6() error {
 			r.Utilization[bench.SysDUX]*100,
 			r.GoodputMbps)
 	}
-	return w.Flush()
+	return rows, w.Flush()
 }
 
-func fig7() error {
+func fig7() (any, error) {
 	header("Figure 7: TCP redirection latency (request→echo, through forwarder)")
 	rows, err := bench.Fig7([]int{64, 256, 512, 1024, 1460})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "payload (B)\tPlexus in-kernel (µs)\tDUX user-level (µs)\tratio")
@@ -115,51 +178,53 @@ func fig7() error {
 			r.PayloadBytes, r.KernelLatency.Micros(), r.SpliceLatency.Micros(),
 			float64(r.SpliceLatency)/float64(r.KernelLatency))
 	}
-	return w.Flush()
+	return rows, w.Flush()
 }
 
-func httpDemo() error {
+func httpDemo() (any, error) {
 	header("HTTP service (the paper's concluding demo): mean GET latency, 1KB body")
 	rows, err := bench.HTTP(20)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "server\tlatency (µs)")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%s\t%.0f\n", r.System, r.Latency.Micros())
 	}
-	return w.Flush()
+	return rows, w.Flush()
 }
 
-func ablations() error {
+func ablations() (any, error) {
 	header("Ablations")
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "configuration\tvalue (µs)\tnote")
 	spoof, err := bench.SpoofPolicyAblation(100)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	cksum, err := bench.ChecksumAblation(1400)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	guards, err := bench.GuardChainAblation([]int{0, 10, 50, 100})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	filters, err := bench.FilterBackendAblation(50)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	ilp, err := bench.ILPAblation(10)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	var all []bench.AblationRow
 	for _, rows := range [][]bench.AblationRow{spoof, cksum, guards, filters, ilp} {
 		for _, r := range rows {
 			fmt.Fprintf(w, "%s\t%.1f\t%s\n", r.Name, r.Value.Micros(), r.Note)
+			all = append(all, r)
 		}
 	}
-	return w.Flush()
+	return all, w.Flush()
 }

@@ -40,7 +40,7 @@ type pendingPkt struct {
 type resolution struct {
 	pkts    []pendingPkt
 	retries int
-	timer   *sim.Timer
+	timer   sim.Timer
 }
 
 // Stats counts ARP activity.
@@ -205,9 +205,7 @@ func (a *ARP) input(t *sim.Task, m *mbuf.Mbuf) {
 func (a *ARP) learn(ip view.IP4, mac view.MAC, t *sim.Task) {
 	a.cache[ip] = entry{mac: mac, expires: a.sim.Now() + EntryLifetime}
 	if r, ok := a.pending[ip]; ok {
-		if r.timer != nil {
-			r.timer.Stop()
-		}
+		r.timer.Stop()
 		delete(a.pending, ip)
 		for _, p := range r.pkts {
 			if err := a.eth.Send(t, mac, p.t, p.m); err != nil {

@@ -29,19 +29,19 @@ type AblationRow struct {
 // the source field versus verifying it, measured as the per-send cost of
 // SendRaw under each policy (averaged over n sends).
 func SpoofPolicyAblation(n int) ([]AblationRow, error) {
-	var rows []AblationRow
-	for _, policy := range []udp.SpoofPolicy{udp.Overwrite, udp.Verify} {
+	return RunCells([]udp.SpoofPolicy{udp.Overwrite, udp.Verify}, func(policy udp.SpoofPolicy) (AblationRow, error) {
 		net, client, server, err := plexus.TwoHosts(1, netdev.EthernetModel(),
 			hostSpec("client", SysPlexusInterrupt), hostSpec("server", SysPlexusInterrupt))
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
+		defer recordEvents(net.Sim)
 		if _, err := server.OpenUDP(plexus.UDPAppOptions{Port: 9}, nil); err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		ep, err := client.UDP.Open(udp.EndpointOptions{SpoofPolicy: policy, Ephemeral: true}, nil)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		var spent sim.Time
 		client.Spawn("sender", func(t *sim.Task) {
@@ -66,9 +66,8 @@ func SpoofPolicyAblation(n int) ([]AblationRow, error) {
 			name = "spoof-policy/verify"
 			note = "manager checks the source field"
 		}
-		rows = append(rows, AblationRow{Name: name, Value: spent / sim.Time(n), Note: note})
-	}
-	return rows, nil
+		return AblationRow{Name: name, Value: spent / sim.Time(n), Note: note}, nil
+	})
 }
 
 // ChecksumAblation compares UDP round-trip latency with the checksum enabled
@@ -81,6 +80,7 @@ func ChecksumAblation(payload int) ([]AblationRow, error) {
 		if err != nil {
 			return 0, err
 		}
+		defer recordEvents(n.Sim)
 		var echo *plexus.UDPApp
 		echo, err = server.OpenUDP(plexus.UDPAppOptions{Port: 7, DisableChecksum: disable},
 			func(t *sim.Task, data []byte, src view.IP4, srcPort uint16) {
@@ -107,17 +107,13 @@ func ChecksumAblation(payload int) ([]AblationRow, error) {
 		}
 		return gotAt - sentAt, nil
 	}
-	with, err := run(false)
-	if err != nil {
-		return nil, err
-	}
-	without, err := run(true)
+	results, err := RunCells([]bool{false, true}, run)
 	if err != nil {
 		return nil, err
 	}
 	return []AblationRow{
-		{Name: fmt.Sprintf("udp-checksum/on (%dB)", payload), Value: with, Note: "standard UDP"},
-		{Name: fmt.Sprintf("udp-checksum/off (%dB)", payload), Value: without, Note: "application-specific variant (§1.1)"},
+		{Name: fmt.Sprintf("udp-checksum/on (%dB)", payload), Value: results[0], Note: "standard UDP"},
+		{Name: fmt.Sprintf("udp-checksum/off (%dB)", payload), Value: results[1], Note: "application-specific variant (§1.1)"},
 	}, nil
 }
 
@@ -125,16 +121,16 @@ func ChecksumAblation(payload int) ([]AblationRow, error) {
 // showing guard evaluation stays at procedure-call scale (the Openness
 // property: extensions do not tax each other).
 func GuardChainAblation(extraEndpoints []int) ([]AblationRow, error) {
-	var rows []AblationRow
-	for _, extra := range extraEndpoints {
+	return RunCells(extraEndpoints, func(extra int) (AblationRow, error) {
 		n, client, server, err := plexus.TwoHosts(1, netdev.EthernetModel(),
 			hostSpec("client", SysPlexusInterrupt), hostSpec("server", SysPlexusInterrupt))
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
+		defer recordEvents(n.Sim)
 		for i := 0; i < extra; i++ {
 			if _, err := server.OpenUDP(plexus.UDPAppOptions{Port: uint16(3000 + i)}, nil); err != nil {
-				return nil, err
+				return AblationRow{}, err
 			}
 		}
 		var echo *plexus.UDPApp
@@ -142,14 +138,14 @@ func GuardChainAblation(extraEndpoints []int) ([]AblationRow, error) {
 			_ = echo.Send(t, src, srcPort, data)
 		})
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		var sentAt, gotAt sim.Time
 		capp, err := client.OpenUDP(plexus.UDPAppOptions{}, func(t *sim.Task, data []byte, src view.IP4, srcPort uint16) {
 			gotAt = t.Now()
 		})
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		client.Spawn("client", func(t *sim.Task) {
 			sentAt = t.Now()
@@ -157,15 +153,14 @@ func GuardChainAblation(extraEndpoints []int) ([]AblationRow, error) {
 		})
 		n.Sim.RunUntil(10 * sim.Second)
 		if gotAt == 0 {
-			return nil, fmt.Errorf("bench: no echo with %d endpoints", extra)
+			return AblationRow{}, fmt.Errorf("bench: no echo with %d endpoints", extra)
 		}
-		rows = append(rows, AblationRow{
+		return AblationRow{
 			Name:  fmt.Sprintf("guard-chain/%d-extra-endpoints", extra),
 			Value: gotAt - sentAt,
 			Note:  "UDP 8B RTT",
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // FilterBackendAblation compares the two guard implementations of
@@ -180,6 +175,7 @@ func FilterBackendAblation(extra int) ([]AblationRow, error) {
 		if err != nil {
 			return 0, err
 		}
+		defer recordEvents(n.Sim)
 		// Rejecting filters: no UDP traffic in this experiment uses port
 		// 60000, so every filter evaluates and fails.
 		const src = "ip.proto == 17 && udp.dport == 60000"
@@ -227,17 +223,13 @@ func FilterBackendAblation(extra int) ([]AblationRow, error) {
 		}
 		return gotAt - sentAt, nil
 	}
-	native, err := run(false)
-	if err != nil {
-		return nil, err
-	}
-	interp, err := run(true)
+	results, err := RunCells([]bool{false, true}, run)
 	if err != nil {
 		return nil, err
 	}
 	return []AblationRow{
-		{Name: fmt.Sprintf("filter-backend/native×%d", extra), Value: native, Note: "compiled guards (typesafe extension)"},
-		{Name: fmt.Sprintf("filter-backend/interpreted×%d", extra), Value: interp, Note: "packet-filter VM (§3.5 alternative)"},
+		{Name: fmt.Sprintf("filter-backend/native×%d", extra), Value: results[0], Note: "compiled guards (typesafe extension)"},
+		{Name: fmt.Sprintf("filter-backend/interpreted×%d", extra), Value: results[1], Note: "packet-filter VM (§3.5 alternative)"},
 	}, nil
 }
 
@@ -253,6 +245,7 @@ func ILPAblation(streams int) ([]AblationRow, error) {
 		if err != nil {
 			return 0, err
 		}
+		defer recordEvents(n.Sim)
 		n.PrimeARP()
 		sv, cl := n.Hosts[0], n.Hosts[1]
 		srv, err := video.NewServer(sv, video.ServerConfig{})
@@ -272,17 +265,13 @@ func ILPAblation(streams int) ([]AblationRow, error) {
 		n.Sim.RunUntil(1 * sim.Second)
 		return cl.Host.CPU.Utilization(), nil
 	}
-	twoPass, err := measure(false)
-	if err != nil {
-		return nil, err
-	}
-	ilp, err := measure(true)
+	results, err := RunCells([]bool{false, true}, measure)
 	if err != nil {
 		return nil, err
 	}
 	toTime := func(u float64) sim.Time { return sim.Time(u * float64(sim.Second)) }
 	return []AblationRow{
-		{Name: fmt.Sprintf("video-client/two-pass (%d streams)", streams), Value: toTime(twoPass), Note: "CPU-seconds per second (utilization)"},
-		{Name: fmt.Sprintf("video-client/ILP (%d streams)", streams), Value: toTime(ilp), Note: "fused checksum+decompress+display [CT90]"},
+		{Name: fmt.Sprintf("video-client/two-pass (%d streams)", streams), Value: toTime(results[0]), Note: "CPU-seconds per second (utilization)"},
+		{Name: fmt.Sprintf("video-client/ILP (%d streams)", streams), Value: toTime(results[1]), Note: "fused checksum+decompress+display [CT90]"},
 	}, nil
 }

@@ -65,6 +65,7 @@ func UDPEchoRTT(model netdev.Model, sys System, payload, rounds int) (sim.Time, 
 	if err != nil {
 		return 0, err
 	}
+	defer recordEvents(n.Sim)
 	var echo *plexus.UDPApp
 	echo, err = server.OpenUDP(plexus.UDPAppOptions{Port: 7}, func(t *sim.Task, data []byte, src view.IP4, srcPort uint16) {
 		t.Charge(server.Host.Costs.AppHandler)
@@ -111,6 +112,7 @@ func DriverEchoRTT(model netdev.Model, payload, rounds int) (sim.Time, error) {
 	if err != nil {
 		return 0, err
 	}
+	defer recordEvents(n.Sim)
 	const rawType = 0x88B6
 	frame := make([]byte, payload)
 
@@ -160,10 +162,17 @@ func DriverEchoRTT(model netdev.Model, payload, rounds int) (sim.Time, error) {
 }
 
 // Fig5 regenerates Figure 5 (and the §1/§4.1 headline numbers). fastDriver
-// selects the paper's "faster device driver" variant.
+// selects the paper's "faster device driver" variant. Each bar is an
+// independent cell fanned out over RunCells; row order is fixed regardless
+// of parallelism.
 func Fig5(fastDriver bool) ([]Fig5Row, error) {
 	const rounds = 8
-	var rows []Fig5Row
+	type cell struct {
+		model  netdev.Model
+		sys    System
+		driver bool
+	}
+	var cells []cell
 	for _, model := range Devices() {
 		if fastDriver {
 			if model.Name == "dec-t3" {
@@ -172,19 +181,27 @@ func Fig5(fastDriver bool) ([]Fig5Row, error) {
 			model = netdev.FastDriver(model)
 		}
 		for _, sys := range []System{SysPlexusInterrupt, SysPlexusThread, SysDUX} {
-			rtt, err := UDPEchoRTT(model, sys, 8, rounds)
-			if err != nil {
-				return nil, fmt.Errorf("fig5 %s/%s: %w", model.Name, sys, err)
-			}
-			rows = append(rows, Fig5Row{Device: model.Name, System: sys, RTT: rtt})
+			cells = append(cells, cell{model: model, sys: sys})
 		}
-		rtt, err := DriverEchoRTT(model, 8, rounds)
-		if err != nil {
-			return nil, fmt.Errorf("fig5 %s/driver: %w", model.Name, err)
-		}
-		rows = append(rows, Fig5Row{Device: model.Name, System: SysDriverMin, RTT: rtt})
+		cells = append(cells, cell{model: model, sys: SysDriverMin, driver: true})
 	}
-	return rows, nil
+	return RunCells(cells, func(c cell) (Fig5Row, error) {
+		var rtt sim.Time
+		var err error
+		if c.driver {
+			rtt, err = DriverEchoRTT(c.model, 8, rounds)
+		} else {
+			rtt, err = UDPEchoRTT(c.model, c.sys, 8, rounds)
+		}
+		if err != nil {
+			kind := string(c.sys)
+			if c.driver {
+				kind = "driver"
+			}
+			return Fig5Row{}, fmt.Errorf("fig5 %s/%s: %w", c.model.Name, kind, err)
+		}
+		return Fig5Row{Device: c.model.Name, System: c.sys, RTT: rtt}, nil
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -203,6 +220,7 @@ func TCPThroughput(model netdev.Model, sys System, size int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	defer recordEvents(n.Sim)
 	var got int
 	var first, last sim.Time
 	_, err = server.ListenTCP(5001, plexus.TCPAppOptions{
@@ -239,17 +257,23 @@ func TCPThroughput(model netdev.Model, sys System, size int) (float64, error) {
 // systems (the paper could not measure Plexus TCP on T3 due to a DMA bug; we
 // can, and report it as an extension).
 func Throughput(size int) ([]TputRow, error) {
-	var rows []TputRow
+	type cell struct {
+		model netdev.Model
+		sys   System
+	}
+	var cells []cell
 	for _, model := range Devices() {
 		for _, sys := range []System{SysPlexusInterrupt, SysDUX} {
-			mbps, err := TCPThroughput(model, sys, size)
-			if err != nil {
-				return nil, fmt.Errorf("throughput %s/%s: %w", model.Name, sys, err)
-			}
-			rows = append(rows, TputRow{Device: model.Name, System: sys, Mbps: mbps})
+			cells = append(cells, cell{model: model, sys: sys})
 		}
 	}
-	return rows, nil
+	return RunCells(cells, func(c cell) (TputRow, error) {
+		mbps, err := TCPThroughput(c.model, c.sys, size)
+		if err != nil {
+			return TputRow{}, fmt.Errorf("throughput %s/%s: %w", c.model.Name, c.sys, err)
+		}
+		return TputRow{Device: c.model.Name, System: c.sys, Mbps: mbps}, nil
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -273,6 +297,7 @@ func videoUtilization(sys System, streams int, duration sim.Time) (util float64,
 	if err != nil {
 		return 0, 0, err
 	}
+	defer recordEvents(n.Sim)
 	n.PrimeARP()
 	sv, cl := n.Hosts[0], n.Hosts[1]
 	srv, err := video.NewServer(sv, video.ServerConfig{})
@@ -294,20 +319,44 @@ func videoUtilization(sys System, streams int, duration sim.Time) (util float64,
 	return util, goodput, nil
 }
 
-// Fig6 regenerates Figure 6 for the given stream counts.
+// Fig6 regenerates Figure 6 for the given stream counts. Each (streams,
+// system) pair is one cell; the per-streams rows are assembled from the
+// ordered cell results afterwards.
 func Fig6(streamCounts []int) ([]Fig6Row, error) {
 	const duration = 2 * sim.Second
-	var rows []Fig6Row
+	systems := []System{SysPlexusInterrupt, SysDUX}
+	type cell struct {
+		streams int
+		sys     System
+	}
+	type result struct {
+		util    float64
+		goodput float64
+	}
+	var cells []cell
 	for _, s := range streamCounts {
+		for _, sys := range systems {
+			cells = append(cells, cell{streams: s, sys: sys})
+		}
+	}
+	results, err := RunCells(cells, func(c cell) (result, error) {
+		u, gp, err := videoUtilization(c.sys, c.streams, duration)
+		if err != nil {
+			return result{}, fmt.Errorf("fig6 %s/%d: %w", c.sys, c.streams, err)
+		}
+		return result{util: u, goodput: gp}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig6Row
+	for i, s := range streamCounts {
 		row := Fig6Row{Streams: s, Utilization: map[System]float64{}}
-		for _, sys := range []System{SysPlexusInterrupt, SysDUX} {
-			u, gp, err := videoUtilization(sys, s, duration)
-			if err != nil {
-				return nil, fmt.Errorf("fig6 %s/%d: %w", sys, s, err)
-			}
-			row.Utilization[sys] = u
+		for j, sys := range systems {
+			r := results[i*len(systems)+j]
+			row.Utilization[sys] = r.util
 			if sys == SysPlexusInterrupt {
-				row.GoodputMbps = gp
+				row.GoodputMbps = r.goodput
 			}
 		}
 		rows = append(rows, row)
@@ -339,6 +388,7 @@ func forwardLatency(kernel bool, payload int) (sim.Time, error) {
 	if err != nil {
 		return 0, err
 	}
+	defer recordEvents(n.Sim)
 	n.PrimeARP()
 	client, fwd, server := n.Hosts[0], n.Hosts[1], n.Hosts[2]
 	_, err = server.ListenTCP(9000, plexus.TCPAppOptions{
@@ -384,19 +434,34 @@ func forwardLatency(kernel bool, payload int) (sim.Time, error) {
 	return gotAt - sentAt, nil
 }
 
-// Fig7 regenerates Figure 7 for the given request payload sizes.
+// Fig7 regenerates Figure 7 for the given request payload sizes. Each
+// (size, forwarder-kind) pair is one cell; rows pair the ordered results.
 func Fig7(sizes []int) ([]Fig7Row, error) {
-	var rows []Fig7Row
+	type cell struct {
+		size   int
+		kernel bool
+	}
+	var cells []cell
 	for _, size := range sizes {
-		k, err := forwardLatency(true, size)
+		cells = append(cells, cell{size: size, kernel: true}, cell{size: size, kernel: false})
+	}
+	results, err := RunCells(cells, func(c cell) (sim.Time, error) {
+		lat, err := forwardLatency(c.kernel, c.size)
 		if err != nil {
-			return nil, fmt.Errorf("fig7 kernel/%d: %w", size, err)
+			kind := "splice"
+			if c.kernel {
+				kind = "kernel"
+			}
+			return 0, fmt.Errorf("fig7 %s/%d: %w", kind, c.size, err)
 		}
-		s, err := forwardLatency(false, size)
-		if err != nil {
-			return nil, fmt.Errorf("fig7 splice/%d: %w", size, err)
-		}
-		rows = append(rows, Fig7Row{PayloadBytes: size, KernelLatency: k, SpliceLatency: s})
+		return lat, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig7Row
+	for i, size := range sizes {
+		rows = append(rows, Fig7Row{PayloadBytes: size, KernelLatency: results[2*i], SpliceLatency: results[2*i+1]})
 	}
 	return rows, nil
 }
@@ -418,6 +483,7 @@ func HTTPLatency(sys System, n int) (sim.Time, error) {
 	if err != nil {
 		return 0, err
 	}
+	defer recordEvents(net.Sim)
 	_, err = httpx.Serve(server, 80, func(t *sim.Task, req *httpx.Request) httpx.Response {
 		return httpx.Response{Status: 200, Body: make([]byte, 1024)}
 	})
@@ -446,13 +512,11 @@ func HTTPLatency(sys System, n int) (sim.Time, error) {
 
 // HTTP regenerates the concluding-demo comparison.
 func HTTP(n int) ([]HTTPRow, error) {
-	var rows []HTTPRow
-	for _, sys := range []System{SysPlexusInterrupt, SysDUX} {
+	return RunCells([]System{SysPlexusInterrupt, SysDUX}, func(sys System) (HTTPRow, error) {
 		lat, err := HTTPLatency(sys, n)
 		if err != nil {
-			return nil, err
+			return HTTPRow{}, err
 		}
-		rows = append(rows, HTTPRow{System: sys, Latency: lat})
-	}
-	return rows, nil
+		return HTTPRow{System: sys, Latency: lat}, nil
+	})
 }

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"plexus/internal/sim"
+)
+
+// This file implements the parallel experiment harness. Every experiment cell
+// (one device × system × parameter configuration) builds its own seeded
+// sim.Sim, its own link, and its own per-host mbuf pools, so cells share no
+// mutable state and are embarrassingly parallel. RunCells fans them out over
+// a bounded worker pool while returning results in deterministic input
+// order: because each cell's simulated result depends only on its own seed,
+// parallelism never changes any reported number, only the wall-clock spent
+// producing it.
+
+// parallelism holds the worker-pool width; 0 means GOMAXPROCS.
+var parallelism atomic.Int32
+
+// SetParallelism bounds the number of experiment cells executed concurrently.
+// n <= 0 resets to the default (GOMAXPROCS). cmd/plexus-bench wires its
+// -parallel flag here; 1 recovers fully sequential execution.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism.Store(int32(n))
+}
+
+// Parallelism reports the effective worker-pool width.
+func Parallelism() int {
+	if n := int(parallelism.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// simEvents accumulates sim.Sim.Executed across experiment cells, feeding the
+// events/sec figure in plexus-bench's -json output.
+var simEvents atomic.Uint64
+
+// recordEvents credits a finished cell's fired-event count to the harness
+// total. Experiment cells call it once per simulator they drive.
+func recordEvents(s *sim.Sim) { simEvents.Add(s.Executed()) }
+
+// ResetEventCount zeroes the harness event counter (called per experiment).
+func ResetEventCount() { simEvents.Store(0) }
+
+// EventCount reports events fired since the last ResetEventCount.
+func EventCount() uint64 { return simEvents.Load() }
+
+// RunCells executes run over every cell on a worker pool of Parallelism()
+// goroutines and returns the results in input order. All cells are always
+// executed (no early exit), and the returned error is the first failing
+// cell's error by input position — so success, results, and error are all
+// byte-identical whatever the parallelism.
+func RunCells[C, R any](cells []C, run func(C) (R, error)) ([]R, error) {
+	results := make([]R, len(cells))
+	errs := make([]error, len(cells))
+	workers := Parallelism()
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers <= 1 {
+		for i := range cells {
+			results[i], errs[i] = run(cells[i])
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(cells) {
+						return
+					}
+					results[i], errs[i] = run(cells[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

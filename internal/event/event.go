@@ -141,6 +141,10 @@ type Dispatcher struct {
 	// raiseDepth guards against accidental unbounded event recursion in a
 	// misbuilt protocol graph.
 	raiseDepth int32
+	// scratch holds one reusable binding buffer per active raise depth, so
+	// the per-raise snapshot does not allocate in steady state. Indexed by
+	// depth-1; nested raises each get their own buffer.
+	scratch [][]*Binding
 }
 
 // maxRaiseDepth bounds protocol-graph recursion; real stacks are ~6 deep.
@@ -234,19 +238,26 @@ func (d *Dispatcher) Raise(t *sim.Task, name Name, m *mbuf.Mbuf) int {
 	if !ok {
 		panic(fmt.Sprintf("event: raise of undeclared event %s", name))
 	}
-	if atomic.AddInt32(&d.raiseDepth, 1) > maxRaiseDepth {
+	depth := atomic.AddInt32(&d.raiseDepth, 1)
+	if depth > maxRaiseDepth {
 		panic(fmt.Sprintf("event: raise depth exceeds %d (cycle in protocol graph?) at %s", maxRaiseDepth, name))
 	}
 	defer atomic.AddInt32(&d.raiseDepth, -1)
 	ev.raises++
 	invoked := 0
 	// Snapshot: handlers installed/removed during dispatch take effect on
-	// the next raise, matching SPIN's install semantics.
-	bindings := append([]*Binding(nil), ev.bindings...)
+	// the next raise, matching SPIN's install semantics. The snapshot is
+	// copied into a per-depth scratch buffer reused across raises.
+	for int(depth) > len(d.scratch) {
+		d.scratch = append(d.scratch, nil)
+	}
+	bindings := append(d.scratch[depth-1][:0], ev.bindings...)
+	d.scratch[depth-1] = bindings
 	// Dispatch is two-phase: every guard is evaluated against the intact
 	// packet first, then the matching handlers run. A handler may consume
 	// the packet (strip headers, free it), which must not corrupt the
-	// view later guards see.
+	// view later guards see. matched overlays the snapshot's storage: it
+	// only ever writes an index the scan has already passed.
 	matched := bindings[:0]
 	for _, b := range bindings {
 		if b.removed {

@@ -371,3 +371,33 @@ func TestDefaultCostsShape(t *testing.T) {
 		t.Error("handler invocation should stay at procedure-call scale")
 	}
 }
+
+// TestRaiseSteadyStateAllocs pins the zero-alloc property of dispatch: on a
+// warm dispatcher (scratch snapshot buffer grown), Raise allocates nothing
+// per call, even with a mix of guards accepting and rejecting.
+func TestRaiseSteadyStateAllocs(t *testing.T) {
+	d := NewDispatcher(DefaultCosts())
+	d.MustDeclare("E", Options{})
+	accept := func(task *sim.Task, m *mbuf.Mbuf) bool { return m.Bytes()[0] == 9 }
+	reject := func(task *sim.Task, m *mbuf.Mbuf) bool { return m.Bytes()[0] != 9 }
+	for i := 0; i < 4; i++ {
+		if _, err := d.Install("E", accept, Proc("hit", func(task *sim.Task, m *mbuf.Mbuf) {}), 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Install("E", reject, Proc("miss", func(task *sim.Task, m *mbuf.Mbuf) {}), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := pkt(t, 9)
+	run(t, func(task *sim.Task) {
+		d.Raise(task, "E", m) // warm: grows the scratch buffer once
+		avg := testing.AllocsPerRun(100, func() {
+			if n := d.Raise(task, "E", m); n != 4 {
+				t.Fatalf("Raise invoked %d handlers, want 4", n)
+			}
+		})
+		if avg != 0 {
+			t.Errorf("warm Raise allocates %.2f/call, want 0", avg)
+		}
+	})
+}

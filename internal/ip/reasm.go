@@ -19,7 +19,7 @@ type reasmBuf struct {
 	data     []byte
 	have     []bool // per-8-byte-unit arrival map
 	totalLen int    // payload length, known once the last fragment arrives
-	timer    *sim.Timer
+	timer    sim.Timer
 }
 
 // reassemble incorporates the validated fragment m (consumed) and returns the

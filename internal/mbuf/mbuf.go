@@ -71,9 +71,12 @@ type Mbuf struct {
 	small [MLEN]byte
 	off   int
 	len   int
-	hdr   *PktHdr
-	ro    bool
-	freed bool
+	// hdr is nil for interior mbufs; for a packet head it always points at
+	// hdrStore, so beginning a packet never allocates a separate header.
+	hdr      *PktHdr
+	hdrStore PktHdr
+	ro       bool
+	freed    bool
 }
 
 // Pool allocates and recycles mbufs, keeping the statistics BSD's mbstat
@@ -82,6 +85,7 @@ type Mbuf struct {
 type Pool struct {
 	mu        sync.Mutex
 	freeSmall []*Mbuf
+	freeClust []*cluster
 	stats     Stats
 }
 
@@ -91,7 +95,7 @@ type Stats struct {
 	AllocCluster uint64 // clusters handed out
 	Free         uint64 // mbufs returned
 	InUse        int64  // currently live mbufs
-	Recycled     uint64 // allocations satisfied from the free list
+	Recycled     uint64 // allocations satisfied from a free list (small mbufs and clusters)
 }
 
 // NewPool returns an empty pool.
@@ -110,12 +114,15 @@ func (p *Pool) Stats() Stats {
 	return p.stats
 }
 
-func (p *Pool) get() *Mbuf {
+// get hands out a small mbuf, attaching a recycled (or, outside the lock, a
+// freshly made) cluster when withCluster is set. One lock acquisition covers
+// both free lists and all stat updates.
+func (p *Pool) get(withCluster bool) *Mbuf {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	var m *Mbuf
 	if n := len(p.freeSmall); n > 0 {
 		m = p.freeSmall[n-1]
+		p.freeSmall[n-1] = nil
 		p.freeSmall = p.freeSmall[:n-1]
 		*m = Mbuf{pool: p}
 		p.stats.Recycled++
@@ -124,27 +131,37 @@ func (p *Pool) get() *Mbuf {
 	}
 	p.stats.AllocSmall++
 	p.stats.InUse++
+	if withCluster {
+		p.stats.AllocCluster++
+		if n := len(p.freeClust); n > 0 {
+			c := p.freeClust[n-1]
+			p.freeClust[n-1] = nil
+			p.freeClust = p.freeClust[:n-1]
+			c.refs = 1
+			m.clust = c
+			p.stats.Recycled++
+		}
+	}
+	p.mu.Unlock()
+	if withCluster && m.clust == nil {
+		m.clust = &cluster{buf: make([]byte, MCLBYTES), refs: 1}
+	}
 	return m
 }
 
 // Get allocates a small mbuf with no packet header.
-func (p *Pool) Get() *Mbuf { return p.get() }
+func (p *Pool) Get() *Mbuf { return p.get(false) }
 
 // GetPkt allocates a small mbuf that begins a packet (it carries a PktHdr).
 func (p *Pool) GetPkt() *Mbuf {
-	m := p.get()
-	m.hdr = &PktHdr{}
+	m := p.get(false)
+	m.hdr = &m.hdrStore
 	return m
 }
 
 // GetCluster allocates a cluster mbuf (no packet header).
 func (p *Pool) GetCluster() *Mbuf {
-	m := p.get()
-	m.clust = &cluster{buf: make([]byte, MCLBYTES), refs: 1}
-	p.mu.Lock()
-	p.stats.AllocCluster++
-	p.mu.Unlock()
-	return m
+	return p.get(true)
 }
 
 // FromBytes builds a packet chain holding a copy of data, with headroom bytes
@@ -280,8 +297,9 @@ func (m *Mbuf) Prepend(n int) (*Mbuf, error) {
 	if n > MLEN {
 		return nil, ErrNoSpace
 	}
-	nm := m.pool.get()
-	nm.hdr = m.hdr
+	nm := m.pool.get(false)
+	nm.hdrStore = *m.hdr
+	nm.hdr = &nm.hdrStore
 	m.hdr = nil
 	// Leave a little room for further prepends, as BSD does.
 	nm.off = MLEN - n
@@ -316,7 +334,7 @@ func (m *Mbuf) Append(data []byte) error {
 		if len(data) > MLEN {
 			nm = m.pool.GetCluster()
 		} else {
-			nm = m.pool.get()
+			nm = m.pool.get(false)
 		}
 		tail.next = nm
 		tail = nm
@@ -389,8 +407,10 @@ func (m *Mbuf) Pullup(n int) (*Mbuf, error) {
 		return m, nil
 	}
 	// Gather n bytes into a fresh small mbuf, then link the remainder.
-	nm := m.pool.get()
-	nm.hdr = m.hdr
+	nm := m.pool.get(false)
+	nm.hdrStore = *m.hdr
+	nm.hdr = &nm.hdrStore
+	m.hdr = nil
 	nm.ro = m.ro
 	nm.off = 0
 	got := 0
@@ -421,23 +441,37 @@ func (m *Mbuf) Pullup(n int) (*Mbuf, error) {
 // CopyData copies n bytes starting at byte offset off of the packet into a
 // fresh slice.
 func (m *Mbuf) CopyData(off, n int) ([]byte, error) {
-	if m.hdr == nil {
-		return nil, errors.New("mbuf: CopyData on non-header mbuf")
-	}
-	if off < 0 || n < 0 || off+n > m.hdr.Len {
+	if off < 0 || n < 0 {
 		return nil, ErrRange
 	}
 	out := make([]byte, n)
+	if err := m.CopyTo(off, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CopyTo copies len(dst) bytes starting at byte offset off of the packet into
+// dst, which the caller supplies — typically a stack array or reused buffer —
+// so hot-path header reads need not allocate.
+func (m *Mbuf) CopyTo(off int, dst []byte) error {
+	if m.hdr == nil {
+		return errors.New("mbuf: CopyTo on non-header mbuf")
+	}
+	n := len(dst)
+	if off < 0 || off+n > m.hdr.Len {
+		return ErrRange
+	}
 	pos := 0
 	for mm := m; mm != nil && pos < n; mm = mm.next {
 		if off >= mm.len {
 			off -= mm.len
 			continue
 		}
-		pos += copy(out[pos:], mm.Bytes()[off:])
+		pos += copy(dst[pos:], mm.Bytes()[off:])
 		off = 0
 	}
-	return out, nil
+	return nil
 }
 
 // Clone produces a new packet chain referencing the same data (clusters are
@@ -452,13 +486,13 @@ func (m *Mbuf) Clone() (*Mbuf, error) {
 	for mm := m; mm != nil; mm = mm.next {
 		var nm *Mbuf
 		if mm.clust != nil {
-			nm = m.pool.get()
+			nm = m.pool.get(false)
 			nm.clust = mm.clust
 			mm.clust.refs++
 			nm.off = mm.off
 			nm.len = mm.len
 		} else {
-			nm = m.pool.get()
+			nm = m.pool.get(false)
 			nm.off = 0
 			nm.len = mm.len
 			copy(nm.small[:], mm.Bytes())
@@ -470,8 +504,8 @@ func (m *Mbuf) Clone() (*Mbuf, error) {
 			tail = nm
 		}
 	}
-	hdr := *m.hdr
-	head.hdr = &hdr
+	head.hdrStore = *m.hdr
+	head.hdr = &head.hdrStore
 	return head, nil
 }
 
@@ -485,9 +519,7 @@ func (m *Mbuf) DeepCopy() (*Mbuf, error) {
 		return nil, err
 	}
 	nm := m.pool.FromBytes(data, 0)
-	hdr := *m.hdr
-	hdr.Len = nm.hdr.Len
-	nm.hdr = &hdr
+	nm.hdrStore = *m.hdr
 	nm.hdr.Len = len(data)
 	return nm, nil
 }
@@ -565,14 +597,16 @@ func (m *Mbuf) Cat(n *Mbuf) error {
 	return nil
 }
 
-// release returns one mbuf to the pool, dropping a cluster reference.
+// release returns one mbuf to the pool, dropping a cluster reference. A
+// cluster whose last reference drops is recycled alongside the small mbuf.
 func (m *Mbuf) release() {
 	if m.freed {
 		panic("mbuf: double free")
 	}
 	m.freed = true
-	if m.clust != nil {
-		m.clust.refs--
+	c := m.clust
+	if c != nil {
+		c.refs--
 		m.clust = nil
 	}
 	p := m.pool
@@ -583,6 +617,9 @@ func (m *Mbuf) release() {
 	m.hdr = nil
 	if len(p.freeSmall) < 1024 {
 		p.freeSmall = append(p.freeSmall, m)
+	}
+	if c != nil && c.refs == 0 && len(p.freeClust) < 256 {
+		p.freeClust = append(p.freeClust, c)
 	}
 	p.mu.Unlock()
 }

@@ -499,3 +499,62 @@ func TestHdrAccessors(t *testing.T) {
 	}()
 	nonHead.PktLen()
 }
+
+func TestClusterRecycling(t *testing.T) {
+	p := NewPool()
+	m := p.GetCluster()
+	if !m.IsCluster() {
+		t.Fatal("GetCluster returned a non-cluster mbuf")
+	}
+	st := p.Stats()
+	if st.AllocCluster != 1 {
+		t.Fatalf("AllocCluster = %d, want 1", st.AllocCluster)
+	}
+	if st.Recycled != 0 {
+		t.Fatalf("Recycled = %d before any free, want 0", st.Recycled)
+	}
+	m.Free()
+	m2 := p.GetCluster()
+	st = p.Stats()
+	if st.AllocCluster != 2 {
+		t.Fatalf("AllocCluster = %d, want 2", st.AllocCluster)
+	}
+	// Both the small mbuf and its cluster come from the free lists.
+	if st.Recycled != 2 {
+		t.Fatalf("Recycled = %d after cluster reuse, want 2 (small + cluster)", st.Recycled)
+	}
+	m2.Free()
+}
+
+func TestClusterRecycleAllocs(t *testing.T) {
+	p := NewPool()
+	// Warm the free lists.
+	p.GetCluster().Free()
+	avg := testing.AllocsPerRun(100, func() {
+		p.GetCluster().Free()
+	})
+	if avg != 0 {
+		t.Fatalf("warm GetCluster/Free allocates %.2f/iter, want 0", avg)
+	}
+}
+
+func TestSharedClusterNotRecycledEarly(t *testing.T) {
+	p := NewPool()
+	m := p.FromBytes(payload(MLEN+100), 0) // tail lands in a cluster
+	clone, err := m.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Free() // cluster still referenced by clone
+	got, err := clone.CopyData(0, clone.PktLen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := payload(MLEN + 100)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("byte %d corrupted after partner free: got %d want %d", i, got[i], want[i])
+		}
+	}
+	clone.Free()
+}

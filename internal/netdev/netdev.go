@@ -126,6 +126,44 @@ type Link struct {
 	// delayFn, when set, adds per-frame extra propagation delay; unequal
 	// delays reorder deliveries.
 	delayFn func(wire []byte) sim.Time
+	// freeFrames recycles wire-snapshot buffers so steady-state transmission
+	// allocates nothing.
+	freeFrames *frame
+}
+
+// frame is one reference-counted wire snapshot: the transmitter fills it, each
+// accepting receiver holds a reference, and the last release recycles it.
+type frame struct {
+	buf  []byte
+	refs int
+	next *frame
+}
+
+// getFrame returns a frame sized to size with the creator's reference held.
+func (l *Link) getFrame(size int) *frame {
+	f := l.freeFrames
+	if f != nil {
+		l.freeFrames = f.next
+		f.next = nil
+	} else {
+		f = &frame{}
+	}
+	if cap(f.buf) < size {
+		f.buf = make([]byte, size)
+	}
+	f.buf = f.buf[:size]
+	f.refs = 1
+	return f
+}
+
+// putFrame drops one reference, recycling the frame when the last is gone.
+func (l *Link) putFrame(f *frame) {
+	f.refs--
+	if f.refs > 0 {
+		return
+	}
+	f.next = l.freeFrames
+	l.freeFrames = f
 }
 
 // SetDropFn installs a loss-injection predicate: frames for which fn returns
@@ -180,6 +218,18 @@ type NIC struct {
 	recvEvent event.Name
 	promisc   bool
 	stats     NICStats
+	// rxLabel and jobFree back the allocation-free receive path: the task
+	// label is materialized once and rx jobs are pooled.
+	rxLabel string
+	jobFree *rxJob
+}
+
+// rxJob carries a frame from the wire to the receive interrupt without a
+// per-delivery closure; jobs are pooled on the NIC.
+type rxJob struct {
+	nic  *NIC
+	f    *frame
+	next *rxJob
 }
 
 // Config carries the per-NIC wiring.
@@ -211,6 +261,7 @@ func NewNIC(s *sim.Sim, name string, model Model, link *Link, cfg Config) *NIC {
 		recvEvent: cfg.RecvEvent,
 		promisc:   cfg.Promiscuous,
 	}
+	n.rxLabel = "rx:" + name
 	link.nics = append(link.nics, n)
 	return n
 }
@@ -250,7 +301,9 @@ func (n *NIC) Transmit(t *sim.Task, m *mbuf.Mbuf) error {
 	// bound, the frame is dropped rather than queued forever.
 	if n.model.MaxBacklog > 0 && n.link.busyUntil > t.Now()+n.model.MaxBacklog {
 		n.stats.TxDrops++
-		n.sim.Tracef(sim.TraceNet, "%s: tx queue overflow, frame dropped", n.name)
+		if n.sim.TraceEnabled() {
+			n.sim.Tracef(sim.TraceNet, "%s: tx queue overflow, frame dropped", n.name)
+		}
 		m.Free()
 		return nil
 	}
@@ -268,42 +321,51 @@ func (n *NIC) Transmit(t *sim.Task, m *mbuf.Mbuf) error {
 	arrival := depart + n.model.PropDelay
 	n.link.frames++
 	n.link.bytes += uint64(size)
-	n.sim.Tracef(sim.TraceNet, "%s: tx %dB depart=%v arrive=%v", n.name, size, depart, arrival)
+	if n.sim.TraceEnabled() {
+		n.sim.Tracef(sim.TraceNet, "%s: tx %dB depart=%v arrive=%v", n.name, size, depart, arrival)
+	}
 
-	// Snapshot the wire bytes once; each receiver views its own copy, as
-	// if from its own receive ring.
-	wire, err := m.CopyData(0, size)
+	// Snapshot the wire bytes once into a recycled frame; every receiver
+	// views the same immutable snapshot, as if from its own receive ring.
+	f := n.link.getFrame(size)
+	err := m.CopyTo(0, f.buf)
 	m.Free()
 	if err != nil {
+		n.link.putFrame(f)
 		return err
 	}
 	if n.link.mangleFn != nil {
-		n.link.mangleFn(wire)
+		n.link.mangleFn(f.buf)
 	}
-	if n.link.dropFn != nil && n.link.dropFn(wire) {
+	if n.link.dropFn != nil && n.link.dropFn(f.buf) {
 		n.link.dropped++
-		n.sim.Tracef(sim.TraceNet, "%s: frame dropped by loss injector", n.name)
+		n.link.putFrame(f)
+		if n.sim.TraceEnabled() {
+			n.sim.Tracef(sim.TraceNet, "%s: frame dropped by loss injector", n.name)
+		}
 		return nil
 	}
 	if n.link.delayFn != nil {
-		arrival += n.link.delayFn(wire)
+		arrival += n.link.delayFn(f.buf)
 	}
 	for _, dst := range n.link.nics {
 		if dst == n {
 			continue
 		}
-		dst.deliverAt(arrival, wire)
+		dst.deliverAt(arrival, f)
 	}
+	n.link.putFrame(f) // drop the creator's reference
 	return nil
 }
 
 // deliverAt schedules frame arrival: the MAC filter runs "in hardware", then
 // accepted frames cost an interrupt plus driver work (plus PIO reads) on the
-// receiving CPU and are raised into the protocol graph.
-func (n *NIC) deliverAt(at sim.Time, wire []byte) {
+// receiving CPU and are raised into the protocol graph. The frame reference
+// is taken synchronously; the pooled rx job releases it after copying.
+func (n *NIC) deliverAt(at sim.Time, f *frame) {
 	// MAC destination filter (unless promiscuous).
 	if !n.promisc {
-		eth, err := view.Ethernet(wire)
+		eth, err := view.Ethernet(f.buf)
 		if err != nil {
 			n.stats.RxFiltered++
 			return
@@ -314,23 +376,45 @@ func (n *NIC) deliverAt(at sim.Time, wire []byte) {
 			return
 		}
 	}
-	n.cpu.SubmitAt(at, sim.PrioInterrupt, "rx:"+n.name, func(t *sim.Task) {
-		t.Charge(n.model.IntrEntry + n.model.RxDriver)
-		t.ChargeBytes(len(wire), n.model.PIOPerByte)
-		m := n.pool.FromBytes(wire, 0)
-		m.Hdr().RcvIf = n.name
-		m.Hdr().Timestamp = int64(t.Now())
-		if eth, err := view.Ethernet(m.Bytes()); err == nil {
-			d := eth.Dst()
-			m.Hdr().Multicast = d.IsBroadcast() || d.IsMulticast()
-		}
-		n.stats.RxFrames++
-		n.stats.RxBytes += uint64(len(wire))
-		// Received packets are read-only through the graph (§3.4).
-		m.SetReadOnly()
-		if n.raiser.Raise(t, n.recvEvent, m) == 0 {
+	f.refs++
+	j := n.jobFree
+	if j != nil {
+		n.jobFree = j.next
+		j.next = nil
+	} else {
+		j = &rxJob{nic: n}
+	}
+	j.f = f
+	n.cpu.SubmitAtArg(at, sim.PrioInterrupt, n.rxLabel, nicRx, j)
+}
+
+// nicRx is the receive-interrupt body. It is a package-level func so that
+// scheduling it (see deliverAt) never allocates a closure.
+func nicRx(t *sim.Task, a any) {
+	j := a.(*rxJob)
+	n, f := j.nic, j.f
+	j.f = nil
+	j.next = n.jobFree
+	n.jobFree = j
+	wire := f.buf
+	t.Charge(n.model.IntrEntry + n.model.RxDriver)
+	t.ChargeBytes(len(wire), n.model.PIOPerByte)
+	m := n.pool.FromBytes(wire, 0)
+	n.stats.RxFrames++
+	n.stats.RxBytes += uint64(len(wire))
+	n.link.putFrame(f) // the packet owns a private copy now
+	m.Hdr().RcvIf = n.name
+	m.Hdr().Timestamp = int64(t.Now())
+	if eth, err := view.Ethernet(m.Bytes()); err == nil {
+		d := eth.Dst()
+		m.Hdr().Multicast = d.IsBroadcast() || d.IsMulticast()
+	}
+	// Received packets are read-only through the graph (§3.4).
+	m.SetReadOnly()
+	if n.raiser.Raise(t, n.recvEvent, m) == 0 {
+		if n.sim.TraceEnabled() {
 			n.sim.Tracef(sim.TraceNet, "%s: frame with no handler, dropped", n.name)
-			m.Free()
 		}
-	})
+		m.Free()
+	}
 }

@@ -21,8 +21,11 @@ import (
 //     and the payload copied out; every send is a trap plus a copyin plus
 //     socket-layer work before the same protocol code runs.
 
-// UDPAppRecv is the application-level receive callback: payload bytes (owned
-// by the callee), the peer address, and the task the handler runs in.
+// UDPAppRecv is the application-level receive callback: payload bytes, the
+// peer address, and the task the handler runs in. The payload slice is
+// BORROWED — on SPIN stacks it is the endpoint's reused receive buffer and is
+// valid only for the duration of the callback. A callback that needs the
+// bytes later must copy them.
 type UDPAppRecv func(t *sim.Task, payload []byte, src view.IP4, srcPort uint16)
 
 // UDPAppOptions configure OpenUDP.
@@ -49,12 +52,17 @@ type UDPApp struct {
 	st   *Stack
 	ep   *udp.Endpoint
 	opts UDPAppOptions
+	// recvBuf is reused across SPIN-path deliveries (the payload is only
+	// borrowed by the callback), keeping the steady-state receive path
+	// allocation-free. recvLabel is the user-task label, built once.
+	recvBuf   []byte
+	recvLabel string
 }
 
 // OpenUDP opens an application endpoint. On interrupt-mode stacks the
 // receive handler is installed EPHEMERAL, as §3.3 requires.
 func (st *Stack) OpenUDP(opts UDPAppOptions, onRecv UDPAppRecv) (*UDPApp, error) {
-	app := &UDPApp{st: st, opts: opts}
+	app := &UDPApp{st: st, opts: opts, recvLabel: "app-recv:" + st.Name()}
 	epOpts := udp.EndpointOptions{
 		Port:            opts.Port,
 		Remote:          opts.Remote,
@@ -79,34 +87,48 @@ func (st *Stack) OpenUDP(opts UDPAppOptions, onRecv UDPAppRecv) (*UDPApp, error)
 func (app *UDPApp) deliver(t *sim.Task, payload *mbuf.Mbuf, src view.IP4, srcPort uint16, onRecv UDPAppRecv) {
 	st := app.st
 	n := payload.PktLen()
+	if st.Host.Personality == osmodel.SPIN {
+		// In-kernel extension: the handler body runs right here — in the
+		// interrupt task or on the kernel thread that raised us — and the
+		// payload is borrowed from the endpoint's reused buffer, so the
+		// steady-state receive path allocates nothing.
+		if cap(app.recvBuf) < n {
+			app.recvBuf = make([]byte, n)
+		}
+		data := app.recvBuf[:n]
+		err := payload.CopyTo(0, data)
+		payload.Free()
+		if err != nil {
+			return
+		}
+		if app.opts.AppRecvCost > 0 {
+			t.Charge(app.opts.AppRecvCost)
+		}
+		if onRecv != nil {
+			onRecv(t, data, src, srcPort)
+		}
+		return
+	}
+	// Monolithic: socket enqueue + wakeup in the kernel, then the user
+	// process context-switches in, returns from its recv trap, and copies
+	// the payload across the boundary. The copy must be private: the user
+	// task runs later, after the shared receive buffer may be overwritten.
 	data, err := payload.CopyData(0, n)
 	payload.Free()
 	if err != nil {
 		return
 	}
-	run := func(task *sim.Task) {
-		if app.opts.AppRecvCost > 0 {
-			task.Charge(app.opts.AppRecvCost)
-		}
-		if onRecv != nil {
-			onRecv(task, data, src, srcPort)
-		}
-	}
-	if st.Host.Personality == osmodel.SPIN {
-		// In-kernel extension: the handler body runs right here — in
-		// the interrupt task or on the kernel thread that raised us.
-		run(t)
-		return
-	}
-	// Monolithic: socket enqueue + wakeup in the kernel, then the user
-	// process context-switches in, returns from its recv trap, and copies
-	// the payload across the boundary.
 	costs := st.Host.Costs
 	t.Charge(costs.SocketLayer + costs.Wakeup)
-	st.Host.CPU.SubmitAt(t.Now(), sim.PrioUser, "app-recv:"+st.Name(), func(ut *sim.Task) {
+	st.Host.CPU.SubmitAt(t.Now(), sim.PrioUser, app.recvLabel, func(ut *sim.Task) {
 		ut.Charge(costs.CtxSwitch + costs.Syscall)
 		ut.ChargeBytes(len(data), costs.CopyPerByte)
-		run(ut)
+		if app.opts.AppRecvCost > 0 {
+			ut.Charge(app.opts.AppRecvCost)
+		}
+		if onRecv != nil {
+			onRecv(ut, data, src, srcPort)
+		}
 	})
 }
 

@@ -3,6 +3,7 @@ package plexus
 import (
 	"fmt"
 
+	"plexus/internal/mbuf"
 	"plexus/internal/netdev"
 	"plexus/internal/osmodel"
 	"plexus/internal/sim"
@@ -16,6 +17,11 @@ type HostSpec struct {
 	Dispatch    osmodel.DispatchMode
 	// Costs overrides the default cost model (nil = defaults).
 	Costs *osmodel.Costs
+	// Pool overrides the host's mbuf pool (nil = a fresh per-host pool).
+	// Every host must have its own pool — or at least one private to its
+	// simulator — because experiment cells run concurrently and pools
+	// carry per-sim statistics and free lists.
+	Pool *mbuf.Pool
 }
 
 // Network is a set of hosts sharing one link — the paper's two-machine
@@ -43,6 +49,7 @@ func NewNetwork(seed int64, model netdev.Model, specs []HostSpec) (*Network, err
 			Addr:        view.IP4{10, 0, 0, idx},
 			Mask:        view.IP4{255, 255, 255, 0},
 			Costs:       spec.Costs,
+			Pool:        spec.Pool,
 		}
 		st, err := NewStack(s, spec.Name, cfg)
 		if err != nil {

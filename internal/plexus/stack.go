@@ -42,6 +42,8 @@ type StackConfig struct {
 	Gateway view.IP4
 	// Costs defaults to osmodel.DefaultCosts when zero.
 	Costs *osmodel.Costs
+	// Pool overrides the host's mbuf pool (nil = a fresh per-host pool).
+	Pool *mbuf.Pool
 }
 
 // Stack is a fully assembled protocol graph on one host.
@@ -109,6 +111,9 @@ func NewStack(s *sim.Sim, name string, cfg StackConfig) (*Stack, error) {
 		costs = *cfg.Costs
 	}
 	host := osmodel.NewHost(s, name, cfg.Personality, costs)
+	if cfg.Pool != nil {
+		host.Pool = cfg.Pool
+	}
 	raiser := &modeRaiser{host: host, mode: cfg.Dispatch}
 	interruptMode := cfg.Personality == osmodel.SPIN && cfg.Dispatch == osmodel.DispatchInterrupt
 

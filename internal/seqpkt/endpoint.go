@@ -20,7 +20,7 @@ type pendingSend struct {
 	seq     uint32
 	payload []byte
 	tries   int
-	timer   *sim.Timer
+	timer   sim.Timer
 }
 
 // peerKey identifies a remote endpoint.
@@ -103,9 +103,7 @@ func (e *Endpoint) Close() {
 	}
 	e.closed = true
 	for _, p := range e.pending {
-		if p.timer != nil {
-			p.timer.Stop()
-		}
+		p.timer.Stop()
 	}
 	e.mgr.disp.Uninstall(e.binding)
 	delete(e.mgr.ports, e.port)
@@ -137,7 +135,7 @@ func (e *Endpoint) Send(t *sim.Task, dst view.IP4, dstPort uint16, payload []byt
 
 func (e *Endpoint) armRexmit(p *pendingSend) {
 	p.timer = e.mgr.sim.After(RexmitTimeout, "seqpkt-rexmit", func() {
-		p.timer = nil
+		p.timer = sim.Timer{}
 		if e.closed {
 			return
 		}
@@ -179,9 +177,7 @@ func (e *Endpoint) deliver(t *sim.Task, pkt *mbuf.Mbuf) {
 	case typeAck:
 		e.mgr.stats.AcksRcvd++
 		if p, okp := e.pending[h.seq]; okp {
-			if p.timer != nil {
-				p.timer.Stop()
-			}
+			p.timer.Stop()
 			delete(e.pending, h.seq)
 			e.stats.Acked++
 		}

@@ -49,6 +49,7 @@ type Task struct {
 	// charge, simulating premature termination.
 	budget     Time
 	terminated bool
+	nextFree   *Task // CPU task free list
 }
 
 // Now returns the task's current virtual time: its start time plus everything
@@ -125,12 +126,38 @@ func (t *Task) Refund(d Time) {
 	t.charged -= d
 }
 
-// pendingTask is a submitted-but-not-yet-run task.
+// pendingTask is a submitted-but-not-yet-run task. It carries either a
+// closure (fn) or the closure-free argFn/arg pair (see SubmitAtArg).
 type pendingTask struct {
 	label string
 	prio  Priority
 	fn    func(*Task)
+	argFn func(*Task, any)
+	arg   any
 	seq   uint64
+}
+
+// submission carries a pendingTask from SubmitAt to its arrival event
+// without a per-call closure; submissions are pooled on the CPU.
+type submission struct {
+	c    *CPU
+	pt   pendingTask
+	next *submission
+}
+
+// submitArrive is the arrival event body: enqueue the task and dispatch.
+// It is a package-level func so scheduling it never allocates a closure.
+func submitArrive(a any) {
+	sub := a.(*submission)
+	c := sub.c
+	pt := sub.pt
+	sub.pt = pendingTask{}
+	sub.next = c.subFree
+	c.subFree = sub
+	pt.seq = c.seq
+	c.seq++
+	c.queue[pt.prio] = append(c.queue[pt.prio], pt)
+	c.kick()
 }
 
 // CPU is a serial processor: one task body executes at a time, highest
@@ -150,11 +177,23 @@ type CPU struct {
 	markTime Time // clock at last MarkUtilization
 
 	tasksRun uint64
+
+	// Allocation-free dispatch machinery: pooled submissions, a pooled
+	// Task (at most one task body runs per CPU at a time — the model is
+	// run-to-completion — so a small free list suffices), and the
+	// completion callback/label materialized once instead of per task.
+	subFree   *submission
+	taskFree  *Task
+	kickFn    func()
+	nextLabel string
 }
 
 // NewCPU creates a processor attached to s.
 func NewCPU(s *Sim, name string) *CPU {
-	return &CPU{sim: s, name: name}
+	c := &CPU{sim: s, name: name}
+	c.kickFn = c.kick
+	c.nextLabel = "cpu-next:" + name
+	return c
 }
 
 // Name returns the CPU's diagnostic name.
@@ -176,14 +215,29 @@ func (c *CPU) Submit(prio Priority, label string, fn func(*Task)) {
 // the past). Device interrupt delivery uses this to inject work at packet
 // arrival time.
 func (c *CPU) SubmitAt(at Time, prio Priority, label string, fn func(*Task)) {
-	if prio < 0 || prio >= numPrios {
-		panic(fmt.Sprintf("sim: bad priority %d for %q", prio, label))
+	c.submitAt(at, pendingTask{label: label, prio: prio, fn: fn})
+}
+
+// SubmitAtArg is SubmitAt for hot paths: fn is a plain function (kept in a
+// package-level variable by the caller) and arg a pooled argument, so the
+// submission allocates nothing in steady state.
+func (c *CPU) SubmitAtArg(at Time, prio Priority, label string, fn func(*Task, any), arg any) {
+	c.submitAt(at, pendingTask{label: label, prio: prio, argFn: fn, arg: arg})
+}
+
+func (c *CPU) submitAt(at Time, pt pendingTask) {
+	if pt.prio < 0 || pt.prio >= numPrios {
+		panic(fmt.Sprintf("sim: bad priority %d for %q", pt.prio, pt.label))
 	}
-	c.sim.At(at, "cpu-arrive:"+label, func() {
-		c.queue[prio] = append(c.queue[prio], pendingTask{label: label, prio: prio, fn: fn, seq: c.seq})
-		c.seq++
-		c.kick()
-	})
+	sub := c.subFree
+	if sub != nil {
+		c.subFree = sub.next
+		sub.next = nil
+	} else {
+		sub = &submission{c: c}
+	}
+	sub.pt = pt
+	c.sim.AtArg(at, pt.label, submitArrive, sub)
 }
 
 // kick starts the dispatch loop if the CPU is idle.
@@ -206,10 +260,11 @@ func (c *CPU) kick() {
 
 func (c *CPU) dequeue() (pendingTask, bool) {
 	for p := Priority(0); p < numPrios; p++ {
-		if len(c.queue[p]) > 0 {
+		if n := len(c.queue[p]); n > 0 {
 			pt := c.queue[p][0]
 			copy(c.queue[p], c.queue[p][1:])
-			c.queue[p] = c.queue[p][:len(c.queue[p])-1]
+			c.queue[p][n-1] = pendingTask{} // drop fn/arg references
+			c.queue[p] = c.queue[p][:n-1]
 			return pt, true
 		}
 	}
@@ -218,18 +273,37 @@ func (c *CPU) dequeue() (pendingTask, bool) {
 
 func (c *CPU) runTask(start Time, pt pendingTask) {
 	c.running = true
-	task := &Task{cpu: c, label: pt.label, prio: pt.prio, start: start}
-	c.sim.tracef(TraceCPU, start, "%s: run %s (%s)", c.name, pt.label, pt.prio)
-	pt.fn(task)
+	task := c.taskFree
+	if task != nil {
+		c.taskFree = task.nextFree
+		*task = Task{cpu: c, label: pt.label, prio: pt.prio, start: start}
+	} else {
+		task = &Task{cpu: c, label: pt.label, prio: pt.prio, start: start}
+	}
+	if c.sim.tracer != nil {
+		c.sim.tracef(TraceCPU, start, "%s: run %s (%s)", c.name, pt.label, pt.prio)
+	}
+	if pt.argFn != nil {
+		pt.argFn(task, pt.arg)
+	} else {
+		pt.fn(task)
+	}
 	c.tasksRun++
 	c.busy += task.charged
 	c.freeAt = start + task.charged
 	c.running = false
-	c.sim.tracef(TraceCPU, c.freeAt, "%s: done %s charged=%v", c.name, pt.label, task.charged)
+	if c.sim.tracer != nil {
+		c.sim.tracef(TraceCPU, c.freeAt, "%s: done %s charged=%v", c.name, pt.label, task.charged)
+	}
+	// The task body has returned; its *Task is dead and may be reused by
+	// the next dispatch. (Capturing a *Task beyond the body was always a
+	// bug: charges after completion were silently dropped.)
+	task.nextFree = c.taskFree
+	c.taskFree = task
 	// The CPU is occupied until freeAt; dispatch the next queued task then.
 	// kick re-checks freeAt: if another task slipped in at this timestamp
 	// and advanced it, that task's own completion event takes over.
-	c.sim.At(c.freeAt, "cpu-next:"+c.name, c.kick)
+	c.sim.At(c.freeAt, c.nextLabel, c.kickFn)
 }
 
 // Busy returns total busy time since creation.

@@ -1,0 +1,59 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventQueue exercises the simulator's event queue as the protocol
+// stacks do: a sliding window of pending timers where each fired event
+// schedules a successor, plus a mix of timers that are cancelled before they
+// fire (retransmission timers that the ACK beats). The benchmark reports
+// wall-clock ns/op per processed event and allocs/op, the two numbers the
+// zero-alloc work pins.
+func benchmarkEventQueue(b *testing.B, window int, cancelEvery int) {
+	b.Helper()
+	s := New(1)
+	nop := func() {}
+	// Pre-warm: fill the window, then drain once so free lists are primed.
+	for i := 0; i < window; i++ {
+		s.After(Time(i)*Microsecond, "warm", nop)
+	}
+	for s.Step() {
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	fired := 0
+	var tick func()
+	tick = func() {
+		fired++
+		if fired < b.N {
+			s.After(Microsecond, "tick", tick)
+		}
+	}
+	// Steady-state: `window` interleaved timer chains; every cancelEvery-th
+	// event also schedules a decoy that is stopped before it can fire.
+	for i := 0; i < window && i < b.N; i++ {
+		s.After(Time(i)*Microsecond, "tick", tick)
+		fired++
+	}
+	decoys := 0
+	for s.Step() {
+		if cancelEvery > 0 {
+			decoys++
+			if decoys%cancelEvery == 0 {
+				tm := s.After(100*Microsecond, "decoy", nop)
+				tm.Stop()
+			}
+		}
+	}
+	if fired < b.N {
+		b.Fatalf("fired %d of %d", fired, b.N)
+	}
+}
+
+func BenchmarkEventQueueWindow16(b *testing.B)  { benchmarkEventQueue(b, 16, 0) }
+func BenchmarkEventQueueWindow256(b *testing.B) { benchmarkEventQueue(b, 256, 0) }
+func BenchmarkEventQueueWindow4096(b *testing.B) {
+	benchmarkEventQueue(b, 4096, 0)
+}
+func BenchmarkEventQueueMixedCancel(b *testing.B) {
+	benchmarkEventQueue(b, 256, 4)
+}

@@ -11,10 +11,14 @@
 //
 // The engine is deterministic: events at equal timestamps fire in submission
 // order, and all randomness flows through a seeded PRNG.
+//
+// The per-event path is allocation-free in steady state: fired and cancelled
+// events return to a free list, the queue is a concrete 4-ary min-heap (no
+// interface boxing), and the AtArg/AfterArg forms let hot callers schedule a
+// pre-bound function plus a pooled argument instead of a fresh closure.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -55,50 +59,39 @@ func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
 // Seconds reports t as floating-point seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
-// event is one pending callback in the simulation.
+// event is one pending callback in the simulation. Events are pooled: a
+// fired or cancelled event returns to the simulator's free list, and its
+// generation counter is bumped so stale Timer handles cannot touch the
+// recycled slot.
 type event struct {
 	at    Time
 	seq   uint64 // tie-break: FIFO among equal timestamps
+	gen   uint32 // recycle generation; Timers validate against it
 	fn    func()
+	argFn func(any) // alternative closure-free form (see AtArg)
+	arg   any
 	label string
-	dead  bool // cancelled
-	index int  // heap index
+	dead  bool   // cancelled
+	next  *event // free-list link
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventBefore is the heap order: earliest timestamp first, FIFO within a
+// timestamp.
+func eventBefore(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Sim is a discrete-event simulator instance. It is not safe for concurrent
-// use: the whole point is a single deterministic timeline.
+// use: the whole point is a single deterministic timeline. Independent Sims
+// (one per experiment cell) may run on different goroutines concurrently.
 type Sim struct {
 	now      Time
 	seq      uint64
-	queue    eventHeap
+	queue    []*event // 4-ary min-heap keyed on (at, seq)
+	free     *event   // recycled events
 	rng      *rand.Rand
 	executed uint64
 	tracer   Tracer
@@ -117,61 +110,187 @@ func (s *Sim) Now() Time { return s.now }
 // (jitter, drop tests, workload generation) must draw from it.
 func (s *Sim) Rand() *rand.Rand { return s.rng }
 
-// Executed reports how many events have fired so far; useful in tests and
-// for detecting runaway schedules.
+// Executed reports how many events have fired so far; useful in tests, for
+// detecting runaway schedules, and for the bench harness's events/sec metric.
 func (s *Sim) Executed() uint64 { return s.executed }
 
-// Timer is a handle to a scheduled callback, returned by At/After.
-type Timer struct{ ev *event }
+// TraceEnabled reports whether a tracer is installed. Hot paths guard their
+// Tracef calls with it so that the variadic arguments are not materialized
+// (boxed and heap-allocated) when tracing is off.
+func (s *Sim) TraceEnabled() bool { return s.tracer != nil }
+
+// Timer is a handle to a scheduled callback, returned by At/After. It is a
+// small value (not a pointer) so scheduling does not allocate; the zero
+// Timer is valid and behaves like one whose event already fired.
+type Timer struct {
+	ev  *event
+	gen uint32
+}
 
 // Stop cancels the timer if it has not fired. It reports whether the
 // cancellation prevented the callback from running; stopping a timer that
-// already fired returns false and has no effect.
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.dead || t.ev.fn == nil {
+// already fired (or the zero Timer) returns false and has no effect.
+func (t Timer) Stop() bool {
+	e := t.ev
+	if e == nil || e.gen != t.gen || e.dead {
 		return false
 	}
-	t.ev.dead = true
-	t.ev.fn = nil
+	e.dead = true
+	e.fn = nil
+	e.argFn = nil
+	e.arg = nil
 	return true
 }
 
-// Stopped reports whether the timer was cancelled.
-func (t *Timer) Stopped() bool { return t == nil || t.ev == nil || t.ev.dead }
+// Pending reports whether the timer is still scheduled to fire: it has
+// neither fired nor been stopped.
+func (t Timer) Pending() bool {
+	return t.ev != nil && t.ev.gen == t.gen && !t.ev.dead
+}
 
-// At schedules fn to run at absolute simulated time at. Scheduling in the
-// past panics: that is always a logic error in a discrete-event model.
-func (s *Sim) At(at Time, label string, fn func()) *Timer {
+// Stopped reports whether the timer is no longer pending — never scheduled,
+// cancelled, or already fired.
+func (t Timer) Stopped() bool { return !t.Pending() }
+
+// alloc takes an event from the free list, or the heap when it is empty.
+func (s *Sim) alloc() *event {
+	if e := s.free; e != nil {
+		s.free = e.next
+		e.next = nil
+		return e
+	}
+	return &event{}
+}
+
+// recycle bumps the event's generation (invalidating outstanding Timers) and
+// returns it to the free list.
+func (s *Sim) recycle(e *event) {
+	e.gen++
+	e.fn = nil
+	e.argFn = nil
+	e.arg = nil
+	e.label = ""
+	e.dead = false
+	e.next = s.free
+	s.free = e
+}
+
+func (s *Sim) schedule(at Time, label string, fn func(), argFn func(any), arg any) Timer {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: scheduling %q at %v, before now %v", label, at, s.now))
 	}
-	e := &event{at: at, seq: s.seq, fn: fn, label: label}
+	e := s.alloc()
+	e.at = at
+	e.seq = s.seq
+	e.fn = fn
+	e.argFn = argFn
+	e.arg = arg
+	e.label = label
 	s.seq++
-	heap.Push(&s.queue, e)
-	return &Timer{ev: e}
+	s.push(e)
+	return Timer{ev: e, gen: e.gen}
+}
+
+// At schedules fn to run at absolute simulated time at. Scheduling in the
+// past panics: that is always a logic error in a discrete-event model.
+func (s *Sim) At(at Time, label string, fn func()) Timer {
+	return s.schedule(at, label, fn, nil, nil)
+}
+
+// AtArg schedules fn(arg) at absolute time at. Unlike At, the callback is a
+// plain function plus an argument rather than a closure, so hot paths that
+// keep fn in a package-level variable and pool their argument structs
+// schedule without allocating.
+func (s *Sim) AtArg(at Time, label string, fn func(any), arg any) Timer {
+	return s.schedule(at, label, nil, fn, arg)
 }
 
 // After schedules fn to run d after the current time.
-func (s *Sim) After(d Time, label string, fn func()) *Timer {
+func (s *Sim) After(d Time, label string, fn func()) Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v for %q", d, label))
 	}
 	return s.At(s.now+d, label, fn)
 }
 
+// AfterArg is AtArg relative to the current time.
+func (s *Sim) AfterArg(d Time, label string, fn func(any), arg any) Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for %q", d, label))
+	}
+	return s.AtArg(s.now+d, label, fn, arg)
+}
+
+// push inserts e into the 4-ary heap.
+func (s *Sim) push(e *event) {
+	q := append(s.queue, e)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !eventBefore(q[i], q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+	s.queue = q
+}
+
+// pop removes and returns the earliest event. The queue must be non-empty.
+func (s *Sim) pop() *event {
+	q := s.queue
+	n := len(q) - 1
+	e := q[0]
+	q[0] = q[n]
+	q[n] = nil
+	q = q[:n]
+	s.queue = q
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if eventBefore(q[j], q[m]) {
+				m = j
+			}
+		}
+		if !eventBefore(q[m], q[i]) {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+	return e
+}
+
 // Step fires the next pending event, advancing the clock to its timestamp.
 // It reports false when the queue is empty.
 func (s *Sim) Step() bool {
 	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*event)
+		e := s.pop()
 		if e.dead {
+			s.recycle(e)
 			continue
 		}
 		s.now = e.at
 		s.executed++
-		fn := e.fn
-		e.fn = nil
-		fn()
+		fn, argFn, arg := e.fn, e.argFn, e.arg
+		// Recycle before running: outstanding Timers are invalidated by
+		// the generation bump, and the callback may immediately reuse
+		// the slot for what it schedules.
+		s.recycle(e)
+		if argFn != nil {
+			argFn(arg)
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false
@@ -187,8 +306,14 @@ func (s *Sim) Run() {
 // RunUntil fires events with timestamps <= t, then sets the clock to t.
 func (s *Sim) RunUntil(t Time) {
 	for len(s.queue) > 0 {
-		// Peek; heap root is the earliest event.
-		if s.queue[0].at > t {
+		top := s.queue[0]
+		if top.dead {
+			// Discard cancelled events eagerly so a dead early event
+			// cannot trick Step into firing a live one past t.
+			s.recycle(s.pop())
+			continue
+		}
+		if top.at > t {
 			break
 		}
 		s.Step()

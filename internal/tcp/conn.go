@@ -152,10 +152,10 @@ type Conn struct {
 	rcvWndCap uint32
 
 	// timers
-	rexmitTimer  *sim.Timer
-	ackTimer     *sim.Timer
-	twTimer      *sim.Timer
-	persistTimer *sim.Timer
+	rexmitTimer  sim.Timer
+	ackTimer     sim.Timer
+	twTimer      sim.Timer
+	persistTimer sim.Timer
 	persistShift uint
 	// RTT estimation (Jacobson), Karn's rule via rttSeq/rttStart.
 	srtt     sim.Time
@@ -267,21 +267,17 @@ func (c *Conn) sendSYNACK(t *sim.Task) {
 
 // sendACK emits a bare acknowledgment now, cancelling any delayed ACK.
 func (c *Conn) sendACK(t *sim.Task) {
-	if c.ackTimer != nil {
-		c.ackTimer.Stop()
-		c.ackTimer = nil
-	}
+	c.ackTimer.Stop()
 	c.stats.SegsSent++
 	c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.snd.nxt, c.rcv.nxt, view.TCPAck, c.rcv.wnd, nil)
 }
 
 // scheduleDelayedACK arms the 200ms ACK clock if not already pending.
 func (c *Conn) scheduleDelayedACK() {
-	if c.ackTimer != nil && !c.ackTimer.Stopped() {
+	if c.ackTimer.Pending() {
 		return
 	}
 	c.ackTimer = c.mgr.sim.After(delayedAckDelay, "tcp-delack", func() {
-		c.ackTimer = nil
 		if c.dead {
 			return
 		}
@@ -397,10 +393,7 @@ func (c *Conn) output(t *sim.Task) {
 		c.snd.nxt += n
 		c.stats.SegsSent++
 		c.stats.BytesSent += uint64(n)
-		if c.ackTimer != nil { // data segment carries the ACK
-			c.ackTimer.Stop()
-			c.ackTimer = nil
-		}
+		c.ackTimer.Stop() // data segment carries the ACK
 		c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, seq, c.rcv.nxt, flags, c.rcv.wnd, payload)
 		c.startRTT(seq)
 		c.armRexmit()
@@ -466,9 +459,7 @@ func (c *Conn) sampleRTT(ack uint32) {
 func (c *Conn) cancelRTT() { c.rttValid = false }
 
 func (c *Conn) armRexmit() {
-	if c.rexmitTimer != nil {
-		c.rexmitTimer.Stop()
-	}
+	c.rexmitTimer.Stop()
 	rto := c.rto << c.backoff
 	if rto > maxRTO {
 		rto = maxRTO
@@ -486,10 +477,8 @@ func (c *Conn) armRexmit() {
 }
 
 func (c *Conn) disarmRexmit() {
-	if c.rexmitTimer != nil {
-		c.rexmitTimer.Stop()
-		c.rexmitTimer = nil
-	}
+	c.rexmitTimer.Stop()
+	c.rexmitTimer = sim.Timer{}
 }
 
 // onRexmitTimeout retransmits the oldest unacknowledged data with exponential
@@ -568,12 +557,8 @@ func (c *Conn) teardown(err error) {
 	c.closedErr = err
 	c.state = StateClosed
 	c.disarmRexmit()
-	if c.ackTimer != nil {
-		c.ackTimer.Stop()
-	}
-	if c.twTimer != nil {
-		c.twTimer.Stop()
-	}
+	c.ackTimer.Stop()
+	c.twTimer.Stop()
 	c.disarmPersist()
 	c.mgr.disp.Uninstall(c.binding)
 	delete(c.mgr.conns, connKey{c.localPort, c.remoteAddr, c.remotePort})
@@ -586,9 +571,7 @@ func (c *Conn) teardown(err error) {
 func (c *Conn) enterTimeWait() {
 	c.state = StateTimeWait
 	c.disarmRexmit()
-	if c.twTimer != nil {
-		c.twTimer.Stop()
-	}
+	c.twTimer.Stop()
 	c.twTimer = c.mgr.sim.After(2*msl, "tcp-timewait", func() {
 		if !c.dead {
 			c.teardown(nil)
@@ -639,7 +622,7 @@ func (c *Conn) RecvBuffered() int { return len(c.rcvBuf) }
 
 // armPersist starts (or continues) the zero-window probe timer.
 func (c *Conn) armPersist() {
-	if c.persistTimer != nil && !c.persistTimer.Stopped() {
+	if c.persistTimer.Pending() {
 		return
 	}
 	d := persistInterval << c.persistShift
@@ -647,7 +630,6 @@ func (c *Conn) armPersist() {
 		d = maxPersistInterval
 	}
 	c.persistTimer = c.mgr.sim.After(d, "tcp-persist", func() {
-		c.persistTimer = nil
 		if c.dead {
 			return
 		}
@@ -661,10 +643,8 @@ func (c *Conn) armPersist() {
 }
 
 func (c *Conn) disarmPersist() {
-	if c.persistTimer != nil {
-		c.persistTimer.Stop()
-		c.persistTimer = nil
-	}
+	c.persistTimer.Stop()
+	c.persistTimer = sim.Timer{}
 	c.persistShift = 0
 }
 

@@ -291,7 +291,7 @@ func (c *Conn) processText(t *sim.Task, s seg) {
 	}
 	// ACK strategy: every second full segment immediately, else delayed.
 	if uint32(len(s.payload)) >= c.mss {
-		if c.ackTimer != nil && !c.ackTimer.Stopped() {
+		if c.ackTimer.Pending() {
 			c.sendACK(t)
 		} else {
 			c.scheduleDelayedACK()

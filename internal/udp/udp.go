@@ -136,11 +136,11 @@ func New(cfg Config) (*Manager, error) {
 		if err != nil {
 			return false
 		}
-		hdr, err := pkt.CopyData(ipv.HdrLen(), view.UDPHdrLen)
-		if err != nil {
+		var hb [view.UDPHdrLen]byte
+		if err := pkt.CopyTo(ipv.HdrLen(), hb[:]); err != nil {
 			return false
 		}
-		uv, _ := view.UDP(hdr)
+		uv, _ := view.UDP(hb[:])
 		return !m.claimed[uv.DstPort()] && !m.claimed[uv.SrcPort()]
 	}
 	_, err := cfg.Disp.Install(ip.RecvEvent, guard,
@@ -182,13 +182,13 @@ func (m *Manager) input(t *sim.Task, pkt *mbuf.Mbuf) {
 		return
 	}
 	hl := ipv.HdrLen()
-	hdr, err := pkt.CopyData(hl, view.UDPHdrLen)
-	if err != nil {
+	var hb [view.UDPHdrLen]byte
+	if err := pkt.CopyTo(hl, hb[:]); err != nil {
 		m.stats.BadHeader++
 		pkt.Free()
 		return
 	}
-	uv, _ := view.UDP(hdr)
+	uv, _ := view.UDP(hb[:])
 	ulen := uv.Length()
 	if ulen < view.UDPHdrLen || hl+ulen > pkt.PktLen() {
 		m.stats.BadHeader++
@@ -311,11 +311,11 @@ func (e *Endpoint) guard() event.Guard {
 			return false
 		}
 		hl := ipv.HdrLen()
-		hdr, err := pkt.CopyData(hl, view.UDPHdrLen)
-		if err != nil {
+		var hb [view.UDPHdrLen]byte
+		if err := pkt.CopyTo(hl, hb[:]); err != nil {
 			return false
 		}
-		uv, _ := view.UDP(hdr)
+		uv, _ := view.UDP(hb[:])
 		if uv.DstPort() != e.port {
 			return false
 		}
@@ -342,12 +342,12 @@ func (e *Endpoint) deliver(t *sim.Task, pkt *mbuf.Mbuf) {
 		return
 	}
 	hl := ipv.HdrLen()
-	hdr, err := pkt.CopyData(hl, view.UDPHdrLen)
-	if err != nil {
+	var hb [view.UDPHdrLen]byte
+	if err := pkt.CopyTo(hl, hb[:]); err != nil {
 		pkt.Free()
 		return
 	}
-	uv, _ := view.UDP(hdr)
+	uv, _ := view.UDP(hb[:])
 	src, srcPort := ipv.Src(), uv.SrcPort()
 	// Trim trailing padding beyond the UDP length, then strip the IP and
 	// UDP headers so the application sees exactly its payload.
