@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all | fig5 | tput | fig6 | fig7 | http | ablations")
+	exp := flag.String("exp", "all", "experiment: all | fig5 | tput | fig6 | fig7 | http | loss | ablations")
 	fast := flag.Bool("fastdriver", false, "use the faster device driver variant (§4.1)")
 	size := flag.Int("size", 1<<20, "bulk transfer size in bytes for -exp tput")
 	parallel := flag.Int("parallel", 0, "experiment cells run concurrently (0 = GOMAXPROCS, 1 = sequential)")
@@ -84,6 +84,7 @@ func main() {
 	run("fig6", fig6)
 	run("fig7", fig7)
 	run("http", httpDemo)
+	run("loss", loss)
 	run("ablations", ablations)
 }
 
@@ -191,6 +192,31 @@ func httpDemo() (any, error) {
 	fmt.Fprintln(w, "server\tlatency (µs)")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%s\t%.0f\n", r.System, r.Latency.Micros())
+	}
+	return rows, w.Flush()
+}
+
+func loss() (any, error) {
+	header("Robustness: goodput/delivery/latency vs injected frame loss (Ethernet)")
+	rows, err := bench.Loss(bench.DefaultLossRates())
+	if err != nil {
+		return nil, err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "pattern\tloss\tsystem\tworkload\tmetric\tdelivered\tlost\tlink drops")
+	for _, r := range rows {
+		var metric string
+		switch r.Workload {
+		case bench.WorkloadTCPBulk:
+			metric = fmt.Sprintf("%.2f Mb/s", r.GoodputMbps)
+		case bench.WorkloadSPPStream:
+			metric = fmt.Sprintf("%.0f%% msgs, p99 %.0fµs", r.DeliveredPct, r.P99.Micros())
+		default:
+			metric = fmt.Sprintf("p50 %.0fµs p99 %.0fµs", r.P50.Micros(), r.P99.Micros())
+		}
+		fmt.Fprintf(w, "%s\t%.0f%%\t%s\t%s\t%s\t%.1f%%\t%d\t%d\n",
+			r.Pattern, r.RatePct, r.System, r.Workload, metric,
+			r.DeliveredPct, r.Fault.Lost, r.LinkDropped)
 	}
 	return rows, w.Flush()
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 
+	"plexus/internal/fault"
 	"plexus/internal/netdev"
 	"plexus/internal/osmodel"
 	"plexus/internal/plexus"
@@ -43,12 +44,9 @@ func main() {
 	ma, mb := install(a), install(b)
 	fmt.Printf("SPP (IP protocol %d) installed on both hosts at runtime\n", seqpkt.IPProto)
 
-	// 25% loss in both directions.
-	count := 0
-	net.Link.SetDropFn(func(wire []byte) bool {
-		count++
-		return count%4 == 0
-	})
+	// 25% loss in both directions, via the fault-injection plane.
+	in := fault.Attach(net.Sim, net.Link)
+	in.Lose(&fault.EveryNth{N: 4})
 
 	delivered := 0
 	if _, err := mb.Open(40, func(t *sim.Task, seq uint32, data []byte, src view.IP4, srcPort uint16) {

@@ -1,0 +1,285 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"plexus/internal/fault"
+	"plexus/internal/httpx"
+	"plexus/internal/netdev"
+	"plexus/internal/plexus"
+	"plexus/internal/seqpkt"
+	"plexus/internal/sim"
+	"plexus/internal/view"
+)
+
+// This file implements the `-exp loss` robustness experiment: how gracefully
+// each protocol stack degrades as the link loses frames. The paper's
+// evaluation runs on a quiet machine-room Ethernet; this sweep asks the
+// question the paper could not — does an application-specific stack built
+// from runtime-installed extensions recover from loss as well as the
+// monolithic one? Loss is injected by internal/fault below every protocol,
+// in two patterns: independent random loss (Bernoulli) and 4-frame-mean
+// bursts (Gilbert–Elliott), each swept from 0% to 20%.
+
+// Loss workloads.
+const (
+	WorkloadTCPBulk   = "tcp-bulk"   // one-way 128KB transfer, goodput
+	WorkloadSPPStream = "spp-stream" // 50×300B SPP stream, delivery %
+	WorkloadHTTP      = "http"       // 40 sequential-ish GETs, p50/p99
+)
+
+// LossRow is one cell of the robustness sweep: a loss pattern and rate, a
+// system, a workload, its headline metric, and the fault plane's own
+// accounting of what it did to the wire.
+type LossRow struct {
+	Pattern  string  `json:"pattern"`  // "random" | "burst"
+	RatePct  float64 `json:"rate_pct"` // configured loss probability, percent
+	System   System  `json:"system"`
+	Workload string  `json:"workload"`
+
+	// GoodputMbps is the receiver-observed rate (tcp-bulk only).
+	GoodputMbps float64 `json:"goodput_mbps,omitempty"`
+	// DeliveredPct is the fraction of the offered workload that completed:
+	// bytes for tcp-bulk, messages for spp-stream, requests for http.
+	DeliveredPct float64 `json:"delivered_pct"`
+	// P50/P99 are HTTP GET latency percentiles over completed requests.
+	P50 sim.Time `json:"p50_ns,omitempty"`
+	P99 sim.Time `json:"p99_ns,omitempty"`
+
+	// Fault is the injector's per-model accounting; LinkDropped is the
+	// link's own drop counter (loss models plus any pre-existing drops).
+	Fault       fault.Stats `json:"fault"`
+	LinkDropped uint64      `json:"link_dropped"`
+}
+
+// lossModel builds the drop model for one (pattern, rate) cell.
+func lossModel(pattern string, rate float64) fault.DropModel {
+	if pattern == "burst" {
+		return fault.Burst(rate, 4)
+	}
+	return fault.Bernoulli{P: rate}
+}
+
+// lossRig is a faulted two-host network: host 0 is the client/sender,
+// host 1 the server/receiver.
+func lossRig(sys System, pattern string, rate float64) (*plexus.Network, *plexus.Stack, *plexus.Stack, *fault.Injector, error) {
+	n, client, server, err := plexus.TwoHosts(1, netdev.EthernetModel(),
+		hostSpec("client", sys), hostSpec("server", sys))
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	in := fault.Attach(n.Sim, n.Link)
+	if rate > 0 {
+		in.Lose(lossModel(pattern, rate))
+	}
+	return n, client, server, in, nil
+}
+
+// lossTCPBulk pushes size bytes through one TCP connection under loss and
+// reports goodput over the delivered window plus the delivered fraction.
+// TCP is reliable, so anything short of 100% within the (generous) horizon
+// indicates recovery has stalled — itself a result.
+func lossTCPBulk(sys System, pattern string, rate float64, size int) (LossRow, error) {
+	n, client, server, in, err := lossRig(sys, pattern, rate)
+	if err != nil {
+		return LossRow{}, err
+	}
+	defer recordEvents(n.Sim)
+	var got int
+	var first, last sim.Time
+	_, err = server.ListenTCP(5001, plexus.TCPAppOptions{
+		OnRecv: func(t *sim.Task, conn *plexus.TCPApp, data []byte) {
+			if got == 0 {
+				first = t.Now()
+			}
+			got += len(data)
+			last = t.Now()
+		},
+		OnPeerFin: func(t *sim.Task, conn *plexus.TCPApp) { conn.Close(t) },
+	}, nil)
+	if err != nil {
+		return LossRow{}, err
+	}
+	msg := make([]byte, size)
+	client.Spawn("sender", func(t *sim.Task) {
+		_, _ = client.ConnectTCP(t, server.Addr(), 5001, plexus.TCPAppOptions{
+			OnEstablished: func(t2 *sim.Task, conn *plexus.TCPApp) {
+				_ = conn.Send(t2, msg)
+				conn.Close(t2)
+			},
+		})
+	})
+	n.Sim.RunUntil(10 * 60 * sim.Second)
+	row := LossRow{
+		DeliveredPct: 100 * float64(got) / float64(size),
+		Fault:        in.Stats(),
+		LinkDropped:  n.Link.Dropped(),
+	}
+	if got > 0 && last > first {
+		row.GoodputMbps = float64(got) * 8 / (last - first).Seconds() / 1e6
+	}
+	return row, nil
+}
+
+// lossSPPStream sends msgs fixed-size SPP messages at a 20ms cadence and
+// reports the delivered fraction plus send→deliver latency percentiles.
+// SPP retransmits on a fixed 500ms timer and abandons after its cap, so
+// loss shows up as a latency tail first and as missing messages only under
+// sustained loss.
+func lossSPPStream(sys System, pattern string, rate float64, msgs, msgSize int) (LossRow, error) {
+	n, client, server, in, err := lossRig(sys, pattern, rate)
+	if err != nil {
+		return LossRow{}, err
+	}
+	defer recordEvents(n.Sim)
+	install := func(st *plexus.Stack) (*seqpkt.Manager, error) {
+		return seqpkt.Install(seqpkt.Config{
+			Sim:              st.Host.Sim,
+			IP:               st.IP,
+			Disp:             st.Host.Disp,
+			Raise:            st.Raiser(),
+			CPU:              st.Host.CPU,
+			Pool:             st.Host.Pool,
+			Costs:            st.Host.Costs,
+			RequireEphemeral: st.InterruptMode(),
+		})
+	}
+	mc, err := install(client)
+	if err != nil {
+		return LossRow{}, err
+	}
+	ms, err := install(server)
+	if err != nil {
+		return LossRow{}, err
+	}
+	sentAt := make(map[uint32]sim.Time, msgs)
+	var lats []sim.Time
+	rx, err := ms.Open(40, func(t *sim.Task, seq uint32, data []byte, src view.IP4, srcPort uint16) {
+		if at, ok := sentAt[seq]; ok {
+			lats = append(lats, t.Now()-at)
+		}
+	})
+	if err != nil {
+		return LossRow{}, err
+	}
+	tx, err := mc.Open(41, nil)
+	if err != nil {
+		return LossRow{}, err
+	}
+	payload := make([]byte, msgSize)
+	for i := 0; i < msgs; i++ {
+		client.SpawnAt(sim.Time(i+1)*20*sim.Millisecond, "spp-sender", func(t *sim.Task) {
+			seq, err := tx.Send(t, server.Addr(), 40, payload)
+			if err == nil {
+				sentAt[seq] = t.Now()
+			}
+		})
+	}
+	n.Sim.RunUntil(5 * 60 * sim.Second)
+	row := LossRow{
+		DeliveredPct: 100 * float64(rx.Stats().Delivered) / float64(msgs),
+		Fault:        in.Stats(),
+		LinkDropped:  n.Link.Dropped(),
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		row.P50 = lats[len(lats)/2]
+		row.P99 = lats[min(len(lats)-1, len(lats)*99/100)]
+	}
+	return row, nil
+}
+
+// lossHTTP issues n GETs at a 25ms cadence and reports completion plus
+// latency percentiles over the requests that finished — loss stretches the
+// tail (p99) long before it moves the median.
+func lossHTTP(sys System, pattern string, rate float64, reqs int) (LossRow, error) {
+	n, client, server, in, err := lossRig(sys, pattern, rate)
+	if err != nil {
+		return LossRow{}, err
+	}
+	defer recordEvents(n.Sim)
+	_, err = httpx.Serve(server, 80, func(t *sim.Task, req *httpx.Request) httpx.Response {
+		return httpx.Response{Status: 200, Body: make([]byte, 1024)}
+	})
+	if err != nil {
+		return LossRow{}, err
+	}
+	var lats []sim.Time
+	for i := 0; i < reqs; i++ {
+		client.SpawnAt(sim.Time(i+1)*25*sim.Millisecond, "get", func(t *sim.Task) {
+			_ = httpx.Get(t, client, server.Addr(), 80, "/", func(t2 *sim.Task, r httpx.Result, err error) {
+				if err == nil && r.Status == 200 {
+					lats = append(lats, r.Latency)
+				}
+			})
+		})
+	}
+	n.Sim.RunUntil(10 * 60 * sim.Second)
+	row := LossRow{
+		DeliveredPct: 100 * float64(len(lats)) / float64(reqs),
+		Fault:        in.Stats(),
+		LinkDropped:  n.Link.Dropped(),
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		row.P50 = lats[len(lats)/2]
+		row.P99 = lats[min(len(lats)-1, len(lats)*99/100)]
+	}
+	return row, nil
+}
+
+// Loss runs the robustness sweep: every loss pattern × rate × system ×
+// workload as an independent cell (its own sim, link, and injector), fanned
+// out over RunCells — rows are byte-identical at any parallelism. The burst
+// pattern is skipped at rate 0 (identical to random at 0).
+func Loss(rates []float64) ([]LossRow, error) {
+	const (
+		tcpBytes = 128 << 10
+		sppMsgs  = 50
+		sppSize  = 300
+		httpGets = 40
+	)
+	type cell struct {
+		pattern string
+		rate    float64
+		sys     System
+		wl      string
+	}
+	var cells []cell
+	for _, pattern := range []string{"random", "burst"} {
+		for _, rate := range rates {
+			if pattern == "burst" && rate == 0 {
+				continue
+			}
+			for _, sys := range []System{SysPlexusInterrupt, SysDUX} {
+				for _, wl := range []string{WorkloadTCPBulk, WorkloadSPPStream, WorkloadHTTP} {
+					cells = append(cells, cell{pattern, rate, sys, wl})
+				}
+			}
+		}
+	}
+	return RunCells(cells, func(c cell) (LossRow, error) {
+		var row LossRow
+		var err error
+		switch c.wl {
+		case WorkloadTCPBulk:
+			row, err = lossTCPBulk(c.sys, c.pattern, c.rate, tcpBytes)
+		case WorkloadSPPStream:
+			row, err = lossSPPStream(c.sys, c.pattern, c.rate, sppMsgs, sppSize)
+		default:
+			row, err = lossHTTP(c.sys, c.pattern, c.rate, httpGets)
+		}
+		if err != nil {
+			return LossRow{}, fmt.Errorf("loss %s/%.0f%%/%s/%s: %w", c.pattern, 100*c.rate, c.sys, c.wl, err)
+		}
+		row.Pattern = c.pattern
+		row.RatePct = 100 * c.rate
+		row.System = c.sys
+		row.Workload = c.wl
+		return row, nil
+	})
+}
+
+// DefaultLossRates is the sweep of the `-exp loss` experiment.
+func DefaultLossRates() []float64 { return []float64{0, 0.01, 0.05, 0.10, 0.20} }

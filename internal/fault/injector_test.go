@@ -1,0 +1,245 @@
+// Integration tests: the injector attached to a real two-host Plexus network,
+// faulting live UDP traffic. In package fault_test because internal/plexus
+// (transitively) sits above internal/fault.
+package fault_test
+
+import (
+	"fmt"
+	"testing"
+
+	"plexus/internal/fault"
+	"plexus/internal/netdev"
+	"plexus/internal/osmodel"
+	"plexus/internal/plexus"
+	"plexus/internal/sim"
+	"plexus/internal/view"
+)
+
+func spinSpec(name string) plexus.HostSpec {
+	return plexus.HostSpec{Name: name, Personality: osmodel.SPIN, Dispatch: osmodel.DispatchInterrupt}
+}
+
+// udpRig is a two-host network with a fault injector on the link and a UDP
+// sink on host B. sendN fires n datagrams from A at the given spacing; each
+// carries its sequence number so the sink can observe loss, duplication, and
+// reordering.
+type udpRig struct {
+	t        *testing.T
+	net      *plexus.Network
+	a, b     *plexus.Stack
+	in       *fault.Injector
+	capp     *plexus.UDPApp
+	received []int
+	sent     int
+}
+
+func newUDPRig(t *testing.T, seed int64) *udpRig {
+	t.Helper()
+	n, a, b, err := plexus.TwoHosts(seed, netdev.EthernetModel(), spinSpec("a"), spinSpec("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &udpRig{t: t, net: n, a: a, b: b, in: fault.Attach(n.Sim, n.Link)}
+	_, err = b.OpenUDP(plexus.UDPAppOptions{Port: 9}, func(task *sim.Task, data []byte, src view.IP4, srcPort uint16) {
+		task.Charge(b.Host.Costs.AppHandler)
+		var seq int
+		fmt.Sscanf(string(data), "%d", &seq)
+		r.received = append(r.received, seq)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.capp, err = a.OpenUDP(plexus.UDPAppOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// sendN schedules n datagrams, one every spacing, starting at spacing.
+func (r *udpRig) sendN(n int, spacing sim.Time) {
+	for i := 0; i < n; i++ {
+		seq := i
+		r.a.SpawnAt(sim.Time(i+1)*spacing, "sender", func(task *sim.Task) {
+			payload := fmt.Sprintf("%06d", seq)
+			if err := r.capp.Send(task, r.b.Addr(), 9, []byte(payload)); err != nil {
+				r.t.Errorf("send %d: %v", seq, err)
+			}
+			r.sent++
+		})
+	}
+	r.net.Sim.Run()
+}
+
+func TestInjectorLossObservedEndToEnd(t *testing.T) {
+	r := newUDPRig(t, 11)
+	r.in.Lose(fault.Bernoulli{P: 0.3})
+	r.sendN(200, sim.Millisecond)
+
+	st := r.in.Stats()
+	if st.Lost == 0 {
+		t.Fatal("no frames lost at 30% Bernoulli")
+	}
+	if got := len(r.received); got != r.sent-int(st.Lost) {
+		t.Errorf("delivered %d, sent %d, lost %d: counts disagree", got, r.sent, st.Lost)
+	}
+	if r.net.Link.Dropped() != st.Lost {
+		t.Errorf("link counted %d drops, injector %d", r.net.Link.Dropped(), st.Lost)
+	}
+}
+
+func TestInjectorDuplicateDeliversTwice(t *testing.T) {
+	r := newUDPRig(t, 5)
+	r.in.Duplicate(&fault.EveryNth{N: 2})
+	r.sendN(100, sim.Millisecond)
+
+	st := r.in.Stats()
+	if st.Duplicated != 50 {
+		t.Fatalf("duplicated %d frames, want 50", st.Duplicated)
+	}
+	if r.net.Link.Duplicated() != 50 {
+		t.Errorf("link counted %d duplications", r.net.Link.Duplicated())
+	}
+	// UDP has no duplicate suppression: every copy reaches the app.
+	if got := len(r.received); got != 150 {
+		t.Errorf("delivered %d datagrams, want 150", got)
+	}
+}
+
+func TestInjectorCorruptionCaughtByChecksum(t *testing.T) {
+	r := newUDPRig(t, 5)
+	// Eth(14)+IP(20)+UDP(8) = 42; offset 45 lands in the payload, so the UDP
+	// checksum — not the IP header checksum — must catch it.
+	r.in.Corrupt(&fault.FlipByte{Offset: 45, MinSize: 46, Max: 3})
+	r.sendN(50, sim.Millisecond)
+
+	st := r.in.Stats()
+	if st.Mangled != 3 {
+		t.Fatalf("mangled %d frames, want 3", st.Mangled)
+	}
+	if got := len(r.received); got != r.sent-3 {
+		t.Errorf("delivered %d of %d with 3 mangled: checksum let one through", got, r.sent)
+	}
+}
+
+func TestInjectorJitterReorders(t *testing.T) {
+	r := newUDPRig(t, 7)
+	r.in.Delay(fault.Jitter{P: 0.5, Max: 4 * sim.Millisecond})
+	r.sendN(60, 100*sim.Microsecond)
+
+	if len(r.received) != 60 {
+		t.Fatalf("jitter must not lose frames: delivered %d/60", len(r.received))
+	}
+	ooo := 0
+	for i := 1; i < len(r.received); i++ {
+		if r.received[i] < r.received[i-1] {
+			ooo++
+		}
+	}
+	if ooo == 0 {
+		t.Error("no reordering observed under 4ms jitter at 100µs spacing")
+	}
+	if r.in.Stats().Delayed == 0 {
+		t.Error("Delayed counter stayed zero")
+	}
+}
+
+func TestScenarioFlapDropsCarrierWindow(t *testing.T) {
+	r := newUDPRig(t, 3)
+	sc := r.in.Scenario()
+	// Sends land every 1ms over (0, 100ms]; carrier out for (20ms, 40ms].
+	sc.DownAt(20 * sim.Millisecond)
+	sc.UpAt(40 * sim.Millisecond)
+	r.sendN(100, sim.Millisecond)
+
+	st := r.in.Stats()
+	if sc.Flaps() != 1 {
+		t.Errorf("Flaps() = %d, want 1", sc.Flaps())
+	}
+	if st.Flapped == 0 {
+		t.Fatal("no frames dropped during the outage")
+	}
+	if got := len(r.received); got != r.sent-int(st.Flapped) {
+		t.Errorf("delivered %d, sent %d, flap-dropped %d: counts disagree", got, r.sent, st.Flapped)
+	}
+	// Roughly a fifth of the sends fall in the 20ms window.
+	if st.Flapped < 15 || st.Flapped > 25 {
+		t.Errorf("outage swallowed %d frames, expected ≈20", st.Flapped)
+	}
+}
+
+func TestScenarioPartitionAndHeal(t *testing.T) {
+	r := newUDPRig(t, 3)
+	sc := r.in.Scenario()
+	aSide := []view.MAC{r.a.NIC.MAC()}
+	bSide := []view.MAC{r.b.NIC.MAC()}
+	sc.PartitionAt(0, aSide, bSide)
+	sc.HealAt(50 * sim.Millisecond)
+	r.sendN(100, sim.Millisecond)
+
+	st := r.in.Stats()
+	if st.Partitioned == 0 {
+		t.Fatal("partition dropped nothing")
+	}
+	if got := len(r.received); got != r.sent-int(st.Partitioned) {
+		t.Errorf("delivered %d, sent %d, partitioned %d: counts disagree",
+			got, r.sent, st.Partitioned)
+	}
+	// Everything before the heal is cut, everything after flows.
+	if len(r.received) == 0 {
+		t.Error("heal did not restore traffic")
+	}
+	for _, seq := range r.received {
+		if seq < 48 {
+			t.Errorf("datagram %d crossed the partition before the heal", seq)
+			break
+		}
+	}
+}
+
+func TestInjectorResetQuietsThePlane(t *testing.T) {
+	r := newUDPRig(t, 9)
+	r.in.Lose(fault.Bernoulli{P: 1}).Corrupt(&fault.FlipByte{Offset: 45, MinSize: 46})
+	r.in.Partition([]view.MAC{r.a.NIC.MAC()}, []view.MAC{r.b.NIC.MAC()})
+	r.in.Reset()
+	r.sendN(50, sim.Millisecond)
+	if len(r.received) != 50 {
+		t.Errorf("after Reset, delivered %d/50", len(r.received))
+	}
+}
+
+// Two runs under the same seed must produce the identical delivery sequence
+// and identical fault counters — the property the whole experiment suite
+// rests on.
+func TestInjectorDeterministicUnderSeed(t *testing.T) {
+	run := func() ([]int, fault.Stats, uint64) {
+		r := newUDPRig(t, 99)
+		r.in.Lose(fault.Bernoulli{P: 0.2}).
+			Lose(fault.Burst(0.05, 4)).
+			Corrupt(fault.BitFlip{P: 0.05}).
+			Duplicate(fault.Bernoulli{P: 0.1}).
+			Delay(fault.Jitter{P: 0.3, Max: 2 * sim.Millisecond})
+		r.in.Scenario().FlapEvery(30*sim.Millisecond, 60*sim.Millisecond, 10*sim.Millisecond, 3)
+		r.sendN(300, sim.Millisecond)
+		return r.received, r.in.Stats(), r.net.Sim.Executed()
+	}
+	seq1, st1, ev1 := run()
+	seq2, st2, ev2 := run()
+	if st1 != st2 {
+		t.Fatalf("fault counters diverged: %+v vs %+v", st1, st2)
+	}
+	if ev1 != ev2 {
+		t.Fatalf("event counts diverged: %d vs %d", ev1, ev2)
+	}
+	if len(seq1) != len(seq2) {
+		t.Fatalf("delivery counts diverged: %d vs %d", len(seq1), len(seq2))
+	}
+	for i := range seq1 {
+		if seq1[i] != seq2[i] {
+			t.Fatalf("delivery order diverged at %d: %d vs %d", i, seq1[i], seq2[i])
+		}
+	}
+	if st1.Lost == 0 || st1.Duplicated == 0 || st1.Delayed == 0 || st1.Flapped == 0 {
+		t.Errorf("scenario too quiet to prove determinism: %+v", st1)
+	}
+}

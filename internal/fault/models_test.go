@@ -1,0 +1,214 @@
+package fault
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"plexus/internal/sim"
+)
+
+// drops runs a model over n frames and counts firings.
+func drops(m DropModel, rng *rand.Rand, n, size int) int {
+	wire := make([]byte, size)
+	fired := 0
+	for i := 0; i < n; i++ {
+		if m.Drop(rng, wire) {
+			fired++
+		}
+	}
+	return fired
+}
+
+func TestBernoulliRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 100000
+	for _, p := range []float64{0, 0.01, 0.1, 0.25} {
+		got := float64(drops(Bernoulli{P: p}, rng, n, 100)) / n
+		if math.Abs(got-p) > 0.01 {
+			t.Errorf("Bernoulli(%.2f) fired at %.4f", p, got)
+		}
+	}
+}
+
+func TestBernoulliDeterministicUnderSeed(t *testing.T) {
+	run := func() []bool {
+		rng := rand.New(rand.NewSource(42))
+		m := Bernoulli{P: 0.3}
+		var out []bool
+		for i := 0; i < 200; i++ {
+			out = append(out, m.Drop(rng, nil))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at frame %d", i)
+		}
+	}
+}
+
+// Burst must hit the target mean rate AND cluster its losses: the
+// conditional probability of losing frame i+1 given frame i was lost must be
+// far above the marginal rate.
+func TestGilbertElliottBurstiness(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := Burst(0.1, 4)
+	const n = 200000
+	lost := make([]bool, n)
+	total := 0
+	for i := range lost {
+		lost[i] = m.Drop(rng, nil)
+		if lost[i] {
+			total++
+		}
+	}
+	rate := float64(total) / n
+	if math.Abs(rate-0.1) > 0.01 {
+		t.Errorf("mean loss rate %.4f, want ≈0.10", rate)
+	}
+	pairs, bursty := 0, 0
+	for i := 1; i < n; i++ {
+		if lost[i-1] {
+			pairs++
+			if lost[i] {
+				bursty++
+			}
+		}
+	}
+	condLoss := float64(bursty) / float64(pairs)
+	// Mean burst length 4 → P(loss | previous lost) ≈ 1 - 1/4 = 0.75.
+	if condLoss < 0.5 {
+		t.Errorf("conditional loss %.3f not bursty (marginal %.3f)", condLoss, rate)
+	}
+}
+
+func TestBurstZeroRateNeverFires(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if drops(Burst(0, 4), rng, 10000, 100) != 0 {
+		t.Error("Burst(0) fired")
+	}
+}
+
+func TestEveryNth(t *testing.T) {
+	m := &EveryNth{N: 4}
+	var got []bool
+	for i := 0; i < 8; i++ {
+		got = append(got, m.Drop(nil, nil))
+	}
+	want := []bool{false, false, false, true, false, false, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("EveryNth(4) pattern %v", got)
+		}
+	}
+}
+
+func TestNthOnly(t *testing.T) {
+	m := &NthOnly{K: 3}
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if m.Drop(nil, nil) {
+			if i != 2 {
+				t.Fatalf("NthOnly(3) fired on frame %d", i+1)
+			}
+			fired++
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("NthOnly fired %d times", fired)
+	}
+}
+
+func TestMinSizeGatesSmallFrames(t *testing.T) {
+	m := MinSize{N: 100, M: &EveryNth{N: 1}} // inner model fires on everything
+	if m.Drop(nil, make([]byte, 99)) {
+		t.Error("MinSize fired on a small frame")
+	}
+	if !m.Drop(nil, make([]byte, 100)) {
+		t.Error("MinSize suppressed a large frame")
+	}
+}
+
+func TestLimitCapsFirings(t *testing.T) {
+	m := &Limit{Max: 3, M: &EveryNth{N: 1}}
+	rng := rand.New(rand.NewSource(1))
+	if got := drops(m, rng, 10, 50); got != 3 {
+		t.Fatalf("Limit(3) fired %d times", got)
+	}
+	if m.Fired() != 3 {
+		t.Errorf("Fired() = %d", m.Fired())
+	}
+}
+
+func TestBitFlipCorruptsOneBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := BitFlip{P: 1}
+	orig := make([]byte, 64)
+	wire := make([]byte, 64)
+	if !m.Corrupt(rng, wire) {
+		t.Fatal("BitFlip(P=1) did not fire")
+	}
+	diffBits := 0
+	for i := range wire {
+		b := wire[i] ^ orig[i]
+		for ; b != 0; b &= b - 1 {
+			diffBits++
+		}
+		if wire[i] != orig[i] && i < 14 {
+			t.Errorf("BitFlip damaged the Ethernet header at byte %d", i)
+		}
+	}
+	if diffBits != 1 {
+		t.Errorf("BitFlip changed %d bits, want exactly 1", diffBits)
+	}
+}
+
+func TestFlipByteDeterministicAndCapped(t *testing.T) {
+	m := &FlipByte{Offset: 5, MinSize: 10, Max: 1}
+	small := make([]byte, 8)
+	if m.Corrupt(nil, small) {
+		t.Error("FlipByte fired below MinSize")
+	}
+	wire := make([]byte, 20)
+	if !m.Corrupt(nil, wire) || wire[5] != 0xff {
+		t.Fatalf("FlipByte did not invert offset 5: % x", wire[:8])
+	}
+	again := make([]byte, 20)
+	if m.Corrupt(nil, again) {
+		t.Error("FlipByte exceeded Max")
+	}
+}
+
+func TestJitterBoundsAndGate(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := Jitter{P: 1, Max: 10 * sim.Millisecond, MinSize: 100}
+	if d := m.Delay(rng, make([]byte, 50)); d != 0 {
+		t.Errorf("Jitter delayed a small frame by %v", d)
+	}
+	for i := 0; i < 1000; i++ {
+		d := m.Delay(rng, make([]byte, 200))
+		if d <= 0 || d > 10*sim.Millisecond {
+			t.Fatalf("Jitter delay %v out of (0, 10ms]", d)
+		}
+	}
+}
+
+func TestPeriodicDelay(t *testing.T) {
+	m := &PeriodicDelay{N: 3, Hold: 5 * sim.Millisecond, MinSize: 100}
+	big, small := make([]byte, 200), make([]byte, 50)
+	if d := m.Delay(nil, small); d != 0 {
+		t.Error("small frame delayed")
+	}
+	var pattern []sim.Time
+	for i := 0; i < 6; i++ {
+		pattern = append(pattern, m.Delay(nil, big))
+	}
+	want := []sim.Time{0, 0, 5 * sim.Millisecond, 0, 0, 5 * sim.Millisecond}
+	for i := range want {
+		if pattern[i] != want[i] {
+			t.Fatalf("PeriodicDelay pattern %v", pattern)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Chaos soak: a multi-minute (simulated) storm of burst loss, duplication,
+// jitter, and periodic carrier flaps over live TCP and SPP traffic. After the
+// storm heals, every connection must have reached CLOSED, every transfer must
+// have completed intact, and every pool must balance — no stuck TCBs, no
+// leaked mbufs, no frames live on the wire.
+package fault_test
+
+import (
+	"testing"
+
+	"plexus/internal/fault"
+	"plexus/internal/netdev"
+	"plexus/internal/plexus"
+	"plexus/internal/seqpkt"
+	"plexus/internal/sim"
+	"plexus/internal/tcp"
+	"plexus/internal/view"
+)
+
+func TestChaosSoak(t *testing.T) {
+	n, a, b, err := plexus.TwoHosts(42, netdev.EthernetModel(), spinSpec("a"), spinSpec("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The storm: 3% bursty loss (mean burst 5), a duplicate every 41st
+	// frame, 10% jitter up to 1ms, and a 2s carrier flap every 20s for the
+	// first four minutes.
+	in := fault.Attach(n.Sim, n.Link)
+	in.Lose(fault.Burst(0.03, 5)).
+		Duplicate(&fault.EveryNth{N: 41}).
+		Delay(fault.Jitter{P: 0.1, Max: sim.Millisecond})
+	sc := in.Scenario()
+	const healAt = 240 * sim.Second
+	sc.FlapEvery(5*sim.Second, 20*sim.Second, 2*sim.Second, 11)
+	sc.At(healAt, in.Reset)
+
+	// TCP workload: four client->server streams spread across the storm, so
+	// each one rides through different flaps.
+	const streams = 4
+	const perStream = 200 << 10
+	recvd := make([]int, streams)
+	var conns []*plexus.TCPApp
+	for i := 0; i < streams; i++ {
+		i := i
+		port := uint16(8000 + i)
+		_, err = b.ListenTCP(port, plexus.TCPAppOptions{
+			OnRecv:    func(task *sim.Task, conn *plexus.TCPApp, data []byte) { recvd[i] += len(data) },
+			OnPeerFin: func(task *sim.Task, conn *plexus.TCPApp) { conn.Close(task) },
+		}, func(task *sim.Task, conn *plexus.TCPApp) { conns = append(conns, conn) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.SpawnAt(sim.Time(i)*50*sim.Second+sim.Second, "client", func(task *sim.Task) {
+			conn, err := a.ConnectTCP(task, b.Addr(), port, plexus.TCPAppOptions{
+				OnEstablished: func(t2 *sim.Task, conn *plexus.TCPApp) {
+					_ = conn.Send(t2, make([]byte, perStream))
+					conn.Close(t2)
+				},
+			})
+			if err != nil {
+				t.Errorf("stream %d connect: %v", i, err)
+				return
+			}
+			conns = append(conns, conn)
+		})
+	}
+
+	// SPP workload: one message every 2s through the whole storm.
+	install := func(st *plexus.Stack) *seqpkt.Manager {
+		m, err := seqpkt.Install(seqpkt.Config{
+			Sim: st.Host.Sim, IP: st.IP, Disp: st.Host.Disp,
+			Raise: st.Raiser(), CPU: st.Host.CPU, Pool: st.Host.Pool,
+			Costs: st.Host.Costs, RequireEphemeral: st.InterruptMode(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	ma, mb := install(a), install(b)
+	sppDelivered := 0
+	if _, err := mb.Open(70, func(task *sim.Task, seq uint32, data []byte, src view.IP4, srcPort uint16) {
+		sppDelivered++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := ma.Open(71, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sppMsgs = 100
+	for i := 0; i < sppMsgs; i++ {
+		a.SpawnAt(sim.Time(i)*2*sim.Second, "spp-send", func(task *sim.Task) {
+			if _, err := tx.Send(task, b.Addr(), 70, make([]byte, 256)); err != nil {
+				t.Errorf("spp send: %v", err)
+			}
+		})
+	}
+
+	// Run well past the heal: TIME-WAIT is 2*MSL = 60s, so 420s leaves every
+	// TCB time to unwind completely.
+	n.Sim.RunUntil(420 * sim.Second)
+
+	st := in.Stats()
+	if st.Lost == 0 || st.Duplicated == 0 || st.Delayed == 0 || st.Flapped == 0 {
+		t.Fatalf("storm too quiet to count as chaos: %+v", st)
+	}
+	t.Logf("storm: %+v, flaps=%d", st, sc.Flaps())
+
+	for i, got := range recvd {
+		if got != perStream {
+			t.Errorf("tcp stream %d incomplete: %d/%d bytes", i, got, perStream)
+		}
+	}
+	if sppDelivered != sppMsgs {
+		t.Errorf("spp delivered %d/%d messages", sppDelivered, sppMsgs)
+	}
+	if ab := tx.Stats().Abandoned; ab != 0 {
+		t.Errorf("spp abandoned %d messages", ab)
+	}
+
+	// Zero stuck connections: every TCB the soak created must have unwound.
+	if len(conns) != 2*streams {
+		t.Fatalf("saw %d connection endpoints, want %d", len(conns), 2*streams)
+	}
+	for i, conn := range conns {
+		if s := conn.Conn().State(); s != tcp.StateClosed {
+			t.Errorf("connection %d stuck in %v", i, s)
+		}
+	}
+
+	// Pools balance: no mbuf leaked on either host, no frame live on the
+	// link — duplication and carrier drops must all have refcounted down.
+	for _, st := range []*plexus.Stack{a, b} {
+		if inuse := st.Host.Pool.Stats().InUse; inuse != 0 {
+			t.Errorf("%s leaked %d mbufs", st.Name(), inuse)
+		}
+	}
+	if live := n.Link.LiveFrames(); live != 0 {
+		t.Errorf("%d frames still live on the link", live)
+	}
+}

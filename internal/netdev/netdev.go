@@ -119,6 +119,14 @@ type Link struct {
 	frames    uint64
 	bytes     uint64
 	dropped   uint64
+	// up is the carrier state: a down link (cable pulled, switch port
+	// flapped) silently discards every frame offered to it.
+	up         bool
+	downDrops  uint64
+	duplicated uint64
+	// liveFrames counts wire snapshots currently held (in flight or pending
+	// receive interrupts); at quiescence it must return to zero.
+	liveFrames int
 	// dropFn, when set, is consulted per frame; true drops it on the wire.
 	dropFn func(wire []byte) bool
 	// mangleFn, when set, may corrupt each frame's bytes in flight.
@@ -126,6 +134,9 @@ type Link struct {
 	// delayFn, when set, adds per-frame extra propagation delay; unequal
 	// delays reorder deliveries.
 	delayFn func(wire []byte) sim.Time
+	// dupFn, when set, is consulted per frame; true delivers the frame twice
+	// to every receiver (a duplicating network path).
+	dupFn func(wire []byte) bool
 	// freeFrames recycles wire-snapshot buffers so steady-state transmission
 	// allocates nothing.
 	freeFrames *frame
@@ -153,6 +164,7 @@ func (l *Link) getFrame(size int) *frame {
 	}
 	f.buf = f.buf[:size]
 	f.refs = 1
+	l.liveFrames++
 	return f
 }
 
@@ -162,6 +174,7 @@ func (l *Link) putFrame(f *frame) {
 	if f.refs > 0 {
 		return
 	}
+	l.liveFrames--
 	f.next = l.freeFrames
 	l.freeFrames = f
 }
@@ -179,12 +192,35 @@ func (l *Link) SetMangleFn(fn func(wire []byte)) { l.mangleFn = fn }
 // out-of-order paths.
 func (l *Link) SetDelayFn(fn func(wire []byte) sim.Time) { l.delayFn = fn }
 
+// SetDupFn installs a duplication hook: frames for which fn returns true are
+// delivered twice to every receiver, as on a network path that replays
+// packets.
+func (l *Link) SetDupFn(fn func(wire []byte) bool) { l.dupFn = fn }
+
 // Dropped reports how many frames the loss injector discarded.
 func (l *Link) Dropped() uint64 { return l.dropped }
 
-// NewLink creates an empty link.
+// SetUp raises or cuts the link carrier. While down, every offered frame is
+// silently discarded (counted by DownDrops); receivers see nothing.
+func (l *Link) SetUp(up bool) { l.up = up }
+
+// Up reports the carrier state.
+func (l *Link) Up() bool { return l.up }
+
+// DownDrops reports how many frames were discarded because the link was down.
+func (l *Link) DownDrops() uint64 { return l.downDrops }
+
+// Duplicated reports how many frames the duplication hook replayed.
+func (l *Link) Duplicated() uint64 { return l.duplicated }
+
+// LiveFrames reports wire snapshots currently referenced (in flight or
+// awaiting a receive interrupt). A quiesced simulation must report zero —
+// the frame-pool balance check chaos tests rely on.
+func (l *Link) LiveFrames() int { return l.liveFrames }
+
+// NewLink creates an empty link with the carrier up.
 func NewLink(s *sim.Sim, name string) *Link {
-	return &Link{sim: s, name: name}
+	return &Link{sim: s, name: name, up: true}
 }
 
 // Frames reports how many frames crossed the link.
@@ -297,6 +333,15 @@ func (n *NIC) Transmit(t *sim.Task, m *mbuf.Mbuf) error {
 	}
 	t.Charge(n.model.TxDriver)
 	t.ChargeBytes(size, n.model.PIOPerByte)
+	// Carrier down: the driver ran, but the frame goes nowhere.
+	if !n.link.up {
+		n.link.downDrops++
+		if n.sim.TraceEnabled() {
+			n.sim.Tracef(sim.TraceNet, "%s: link down, frame dropped", n.name)
+		}
+		m.Free()
+		return nil
+	}
 	// Interface-queue overflow: when the wire backlog exceeds the queue
 	// bound, the frame is dropped rather than queued forever.
 	if n.model.MaxBacklog > 0 && n.link.busyUntil > t.Now()+n.model.MaxBacklog {
@@ -348,11 +393,18 @@ func (n *NIC) Transmit(t *sim.Task, m *mbuf.Mbuf) error {
 	if n.link.delayFn != nil {
 		arrival += n.link.delayFn(f.buf)
 	}
+	dup := n.link.dupFn != nil && n.link.dupFn(f.buf)
+	if dup {
+		n.link.duplicated++
+	}
 	for _, dst := range n.link.nics {
 		if dst == n {
 			continue
 		}
 		dst.deliverAt(arrival, f)
+		if dup {
+			dst.deliverAt(arrival, f)
+		}
 	}
 	n.link.putFrame(f) // drop the creator's reference
 	return nil

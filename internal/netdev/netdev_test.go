@@ -223,6 +223,67 @@ func TestLossInjection(t *testing.T) {
 	}
 }
 
+// A down link discards frames silently; raising it restores delivery.
+func TestLinkDownDropsFrames(t *testing.T) {
+	r := newRig(t, EthernetModel(), false)
+	if !r.link.Up() {
+		t.Fatal("new link must start up")
+	}
+	r.link.SetUp(false)
+	r.send(t, r.frameTo(r.b.MAC(), 10))
+	r.sim.Run()
+	if len(r.rxB) != 0 {
+		t.Fatal("frame delivered over a down link")
+	}
+	if r.link.DownDrops() != 1 {
+		t.Errorf("DownDrops = %d", r.link.DownDrops())
+	}
+	r.link.SetUp(true)
+	r.send(t, r.frameTo(r.b.MAC(), 10))
+	r.sim.Run()
+	if len(r.rxB) != 1 {
+		t.Fatalf("delivery did not resume after SetUp(true): %d frames", len(r.rxB))
+	}
+}
+
+// The duplication hook delivers a frame twice to every receiver.
+func TestDuplicationHook(t *testing.T) {
+	r := newRig(t, EthernetModel(), false)
+	n := 0
+	r.link.SetDupFn(func(wire []byte) bool {
+		n++
+		return n == 1 // duplicate only the first frame
+	})
+	r.send(t, r.frameTo(r.b.MAC(), 10))
+	r.send(t, r.frameTo(r.b.MAC(), 10))
+	r.sim.Run()
+	if len(r.rxB) != 3 {
+		t.Fatalf("delivered %d frames, want 3 (one duplicated)", len(r.rxB))
+	}
+	if r.link.Duplicated() != 1 {
+		t.Errorf("Duplicated = %d", r.link.Duplicated())
+	}
+}
+
+// Every wire snapshot is released once deliveries quiesce — under loss,
+// duplication, and plain delivery alike.
+func TestLiveFramesBalanced(t *testing.T) {
+	r := newRig(t, EthernetModel(), false)
+	n := 0
+	r.link.SetDropFn(func(wire []byte) bool {
+		n++
+		return n%3 == 0
+	})
+	r.link.SetDupFn(func(wire []byte) bool { return n%2 == 0 })
+	for i := 0; i < 12; i++ {
+		r.send(t, r.frameTo(r.b.MAC(), 50))
+	}
+	r.sim.Run()
+	if live := r.link.LiveFrames(); live != 0 {
+		t.Fatalf("%d wire frames still referenced after quiescence", live)
+	}
+}
+
 // PIO devices charge the sending and receiving CPUs per byte.
 func TestPIOChargesCPU(t *testing.T) {
 	dma := DECT3Model()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"plexus/internal/fault"
 	"plexus/internal/netdev"
 	"plexus/internal/osmodel"
 	"plexus/internal/sim"
@@ -164,11 +165,7 @@ func TestSimulationDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		count := 0
-		n.Link.SetDropFn(func(wire []byte) bool {
-			count++
-			return count%9 == 0
-		})
+		fault.Attach(n.Sim, n.Link).Lose(&fault.EveryNth{N: 9})
 		var rcvd int
 		var last sim.Time
 		_, err = server.ListenTCP(80, TCPAppOptions{

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"plexus/internal/fault"
 	"plexus/internal/netdev"
 	"plexus/internal/sim"
 	"plexus/internal/tcp"
@@ -11,15 +12,16 @@ import (
 )
 
 // tcpTransfer runs a one-way bulk transfer of size bytes from client to
-// server and returns (received bytes, elapsed send-to-last-byte time).
-func tcpTransfer(t *testing.T, model netdev.Model, a, b HostSpec, size int, lossFn func([]byte) bool) ([]byte, sim.Time) {
+// server, under an optional loss model, and returns (received bytes,
+// elapsed send-to-last-byte time).
+func tcpTransfer(t *testing.T, model netdev.Model, a, b HostSpec, size int, loss fault.DropModel) ([]byte, sim.Time) {
 	t.Helper()
 	n, client, server, err := TwoHosts(1, model, a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if lossFn != nil {
-		n.Link.SetDropFn(lossFn)
+	if loss != nil {
+		fault.Attach(n.Sim, n.Link).Lose(loss)
 	}
 	var rcvd bytes.Buffer
 	var lastByteAt sim.Time
@@ -101,24 +103,13 @@ func TestTCPBulkTransferATMFasterOnSPIN(t *testing.T) {
 }
 
 func TestTCPRetransmissionUnderLoss(t *testing.T) {
-	drops := 0
-	// Drop every 20th data-bearing frame, up to 20 drops.
-	count := 0
-	lossFn := func(wire []byte) bool {
-		if len(wire) < 100 { // leave ACKs and control segments alone
-			return false
-		}
-		count++
-		if count%20 == 0 && drops < 20 {
-			drops++
-			return true
-		}
-		return false
-	}
+	// Drop every 20th data-bearing frame (MinSize leaves ACKs and control
+	// segments alone), up to 20 drops.
+	lm := &fault.Limit{Max: 20, M: fault.MinSize{N: 100, M: &fault.EveryNth{N: 20}}}
 	size := 1 << 18
-	got, elapsed := tcpTransfer(t, netdev.EthernetModel(), spinSpec("a"), spinSpec("b"), size, lossFn)
-	t.Logf("transferred %d bytes in %v with %d injected drops", len(got), elapsed, drops)
-	if drops == 0 {
+	got, elapsed := tcpTransfer(t, netdev.EthernetModel(), spinSpec("a"), spinSpec("b"), size, lm)
+	t.Logf("transferred %d bytes in %v with %d injected drops", len(got), elapsed, lm.Fired())
+	if lm.Fired() == 0 {
 		t.Fatal("loss injector never fired; test is vacuous")
 	}
 }
@@ -286,13 +277,9 @@ func TestTCPEchoRoundTrip(t *testing.T) {
 
 // Heavy-loss transfer still completes (timeout-driven recovery).
 func TestTCPHeavyLossEventuallyCompletes(t *testing.T) {
-	count := 0
-	lossFn := func(wire []byte) bool {
-		count++
-		return count%7 == 0 // drop ~14% of ALL frames, both directions
-	}
+	// Drop ~14% of ALL frames, both directions.
 	size := 64 << 10
-	got, elapsed := tcpTransfer(t, netdev.EthernetModel(), spinSpec("a"), spinSpec("b"), size, lossFn)
+	got, elapsed := tcpTransfer(t, netdev.EthernetModel(), spinSpec("a"), spinSpec("b"), size, &fault.EveryNth{N: 7})
 	t.Logf("64KB under 14%% loss in %v", elapsed)
 	if len(got) != size {
 		t.Fatalf("incomplete transfer: %d/%d", len(got), size)
@@ -344,17 +331,8 @@ func TestTCPReorderingTolerated(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Every 5th large frame is held back 5ms: later segments overtake it.
-	count := 0
-	n.Link.SetDelayFn(func(wire []byte) sim.Time {
-		if len(wire) < 500 {
-			return 0
-		}
-		count++
-		if count%5 == 0 {
-			return 5 * sim.Millisecond
-		}
-		return 0
-	})
+	in := fault.Attach(n.Sim, n.Link).
+		Delay(&fault.PeriodicDelay{N: 5, Hold: 5 * sim.Millisecond, MinSize: 500})
 	var rcvd bytes.Buffer
 	_, err = server.ListenTCP(80, TCPAppOptions{
 		OnRecv:    func(task *sim.Task, conn *TCPApp, data []byte) { rcvd.Write(data) },
@@ -380,7 +358,7 @@ func TestTCPReorderingTolerated(t *testing.T) {
 	if !bytes.Equal(rcvd.Bytes(), msg) {
 		t.Fatalf("reordered stream corrupted: %d/%d bytes", rcvd.Len(), size)
 	}
-	if count < 10 {
+	if in.Stats().Delayed < 10 {
 		t.Fatal("jitter injector barely fired; test is vacuous")
 	}
 }

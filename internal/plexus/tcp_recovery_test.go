@@ -1,0 +1,136 @@
+package plexus
+
+// TCP loss-recovery behaviour under the fault-injection plane: fast
+// retransmit fires at exactly the three-dup-ACK threshold, and timeout
+// recovery backs the RTO off exponentially through a link blackout. These
+// complement the white-box estimator tests in internal/tcp.
+
+import (
+	"testing"
+
+	"plexus/internal/fault"
+	"plexus/internal/netdev"
+	"plexus/internal/sim"
+	"plexus/internal/tcp"
+)
+
+// recoveryTransfer runs a one-way transfer under a prepared injector and
+// returns the sender's connection stats plus received byte count. The
+// prepare hook runs after the network is built but before traffic starts.
+func recoveryTransfer(t *testing.T, size int, horizon sim.Time, prepare func(*Network, *fault.Injector)) (tcp.ConnStats, int) {
+	t.Helper()
+	n, client, server, err := TwoHosts(1, netdev.EthernetModel(), spinSpec("a"), spinSpec("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := fault.Attach(n.Sim, n.Link)
+	if prepare != nil {
+		prepare(n, in)
+	}
+	var got int
+	_, err = server.ListenTCP(80, TCPAppOptions{
+		OnRecv:    func(task *sim.Task, conn *TCPApp, data []byte) { got += len(data) },
+		OnPeerFin: func(task *sim.Task, conn *TCPApp) { conn.Close(task) },
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sender *TCPApp
+	msg := make([]byte, size)
+	client.Spawn("client", func(task *sim.Task) {
+		sender, err = client.ConnectTCP(task, server.Addr(), 80, TCPAppOptions{
+			OnEstablished: func(t2 *sim.Task, conn *TCPApp) {
+				_ = conn.Send(t2, msg)
+				conn.Close(t2)
+			},
+		})
+		if err != nil {
+			t.Errorf("connect: %v", err)
+		}
+	})
+	n.Sim.RunUntil(horizon)
+	if sender == nil {
+		t.Fatal("connection never attempted")
+	}
+	return sender.Conn().Stats(), got
+}
+
+// A single mid-stream segment loss with plenty of successors must recover
+// via fast retransmit — three duplicate ACKs, one retransmission, and no
+// RTO expiry anywhere.
+func TestFastRetransmitAtThreeDupAcks(t *testing.T) {
+	const size = 64 << 10
+	cs, got := recoveryTransfer(t, size, 60*sim.Second, func(n *Network, in *fault.Injector) {
+		// Kill exactly the 10th data-bearing frame; dozens of later
+		// segments then generate duplicate ACKs.
+		in.Lose(fault.MinSize{N: 1000, M: &fault.NthOnly{K: 10}})
+	})
+	if got != size {
+		t.Fatalf("transfer incomplete: %d/%d", got, size)
+	}
+	if cs.FastRexmits != 1 {
+		t.Errorf("FastRexmits = %d, want exactly 1", cs.FastRexmits)
+	}
+	if cs.RTOExpiries != 0 {
+		t.Errorf("RTOExpiries = %d; fast retransmit should have beaten the timer", cs.RTOExpiries)
+	}
+	if cs.DupAcksRcvd < 3 {
+		t.Errorf("DupAcksRcvd = %d, want >= 3", cs.DupAcksRcvd)
+	}
+	if cs.Retransmits != 1 {
+		t.Errorf("Retransmits = %d, want exactly 1", cs.Retransmits)
+	}
+}
+
+// The dual: a loss so close to the end of the stream that only two
+// successors exist can never reach the three-dup-ACK threshold — recovery
+// must fall to the retransmission timer.
+func TestTwoDupAcksDoNotTriggerFastRetransmit(t *testing.T) {
+	// 64KB = 44 full 1460-byte segments + one 1296-byte tail = 45 frames
+	// over the MinSize bar. Killing #44 leaves two out-of-order arrivals
+	// (the tail segment and the FIN) — two dup ACKs, one short of the
+	// threshold.
+	const size = 64 << 10
+	cs, got := recoveryTransfer(t, size, 120*sim.Second, func(n *Network, in *fault.Injector) {
+		in.Lose(fault.MinSize{N: 1000, M: &fault.NthOnly{K: 44}})
+	})
+	if got != size {
+		t.Fatalf("transfer incomplete: %d/%d", got, size)
+	}
+	if cs.FastRexmits != 0 {
+		t.Errorf("FastRexmits = %d with only two dup ACKs possible", cs.FastRexmits)
+	}
+	if cs.RTOExpiries == 0 {
+		t.Error("RTOExpiries = 0; nothing recovered the tail loss")
+	}
+	if cs.DupAcksRcvd > 2 {
+		t.Errorf("DupAcksRcvd = %d, want <= 2", cs.DupAcksRcvd)
+	}
+}
+
+// A long link blackout mid-transfer: every retransmission is swallowed, so
+// the RTO must back off exponentially — a 25.6s outage costs ~5 expiries
+// (1+2+4+8+16s), not ~25 fixed-interval ones — and the transfer still
+// completes after the carrier returns.
+func TestRTOExponentialBackoffThroughBlackout(t *testing.T) {
+	const size = 1 << 20
+	var down, up sim.Time = 100 * sim.Millisecond, 25700 * sim.Millisecond
+	var in2 *fault.Injector
+	cs, got := recoveryTransfer(t, size, 10*60*sim.Second, func(n *Network, in *fault.Injector) {
+		in2 = in
+		sc := in.Scenario()
+		sc.DownAt(down)
+		sc.UpAt(up)
+	})
+	if got != size {
+		t.Fatalf("transfer incomplete after heal: %d/%d", got, size)
+	}
+	if fl := in2.Stats().Flapped; fl == 0 {
+		t.Fatal("blackout dropped nothing; scenario ineffective")
+	}
+	// Exponential: ~5 expiries across the 25.6s outage. A fixed 1s timer
+	// would burn ~25.
+	if cs.RTOExpiries < 3 || cs.RTOExpiries > 8 {
+		t.Errorf("RTOExpiries = %d across a 25.6s blackout, want 3..8 (exponential backoff)", cs.RTOExpiries)
+	}
+}

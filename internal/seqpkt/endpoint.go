@@ -183,17 +183,18 @@ func (e *Endpoint) deliver(t *sim.Task, pkt *mbuf.Mbuf) {
 		}
 	case typeData:
 		e.mgr.stats.DataRcvd++
-		// Acknowledge immediately (every packet; SPP keeps it simple).
-		e.mgr.stats.AcksSent++
-		if err := e.mgr.send(t, e.port, h.src, h.srcPort, typeAck, h.seq, nil); err != nil {
-			e.mgr.sim.Tracef(sim.TraceProto, "seqpkt: ack failed: %v", err)
-		}
 		key := peerKey{addr: h.src, port: h.srcPort}
 		ps := e.peers[key]
 		if ps == nil {
 			ps = &peerState{nextSeq: 1, ooo: make(map[uint32][]byte)}
 			e.peers[key] = ps
 		}
+		// Acknowledge only what is delivered, buffered, or already held: an
+		// ACK tells the sender to forget the packet, so acknowledging a
+		// packet the full out-of-order buffer just discarded would lose it
+		// for good — the sender stops retransmitting, the sequence gap
+		// never fills, and the stream deadlocks at the gap.
+		ack := true
 		switch {
 		case h.seq < ps.nextSeq:
 			e.stats.Duplicates++
@@ -203,9 +204,20 @@ func (e *Endpoint) deliver(t *sim.Task, pkt *mbuf.Mbuf) {
 			ps.nextSeq++
 			e.drainOOO(t, ps, h.src, h.srcPort)
 		default:
-			if _, dup := ps.ooo[h.seq]; !dup && len(ps.ooo) < maxOOO {
+			if _, dup := ps.ooo[h.seq]; dup {
+				e.stats.Duplicates++
+				e.mgr.stats.Duplicates++
+			} else if len(ps.ooo) < maxOOO {
 				ps.ooo[h.seq] = append([]byte(nil), h.payload...)
 				e.stats.OOOBuffered++
+			} else {
+				ack = false // no room: leave it to a later retransmit
+			}
+		}
+		if ack {
+			e.mgr.stats.AcksSent++
+			if err := e.mgr.send(t, e.port, h.src, h.srcPort, typeAck, h.seq, nil); err != nil {
+				e.mgr.sim.Tracef(sim.TraceProto, "seqpkt: ack failed: %v", err)
 			}
 		}
 	}

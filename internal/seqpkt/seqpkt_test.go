@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"plexus/internal/fault"
 	"plexus/internal/netdev"
 	"plexus/internal/osmodel"
 	"plexus/internal/plexus"
@@ -86,11 +87,8 @@ func TestBasicExchange(t *testing.T) {
 // once, in order.
 func TestReliableUnderLoss(t *testing.T) {
 	n, a, b, ma, mb := pairWithSPP(t)
-	count := 0
-	n.Link.SetDropFn(func(wire []byte) bool {
-		count++
-		return count%4 == 0 // drop 25% of all frames, both directions
-	})
+	// Drop 25% of all frames, both directions.
+	fault.Attach(n.Sim, n.Link).Lose(&fault.EveryNth{N: 4})
 	var got []uint32
 	if _, err := mb.Open(40, func(task *sim.Task, seq uint32, data []byte, src view.IP4, srcPort uint16) {
 		got = append(got, seq)
@@ -130,17 +128,9 @@ func TestReliableUnderLoss(t *testing.T) {
 // buffers ahead and still delivers in sequence.
 func TestInOrderUnderReordering(t *testing.T) {
 	n, a, b, ma, mb := pairWithSPP(t)
-	count := 0
-	n.Link.SetDelayFn(func(wire []byte) sim.Time {
-		if len(wire) < 100 {
-			return 0 // leave ACKs alone
-		}
-		count++
-		if count%3 == 0 {
-			return 20 * sim.Millisecond
-		}
-		return 0
-	})
+	// Hold back every third data frame; MinSize leaves ACKs alone.
+	fault.Attach(n.Sim, n.Link).
+		Delay(&fault.PeriodicDelay{N: 3, Hold: 20 * sim.Millisecond, MinSize: 100})
 	var got []uint32
 	rx, err := mb.Open(40, func(task *sim.Task, seq uint32, data []byte, src view.IP4, srcPort uint16) {
 		got = append(got, seq)
@@ -263,6 +253,52 @@ func TestOversizePayloadRejected(t *testing.T) {
 	n.Sim.Run()
 }
 
+// Regression: a head-of-line loss while the sender races far ahead overflows
+// the receiver's out-of-order buffer. Frames the full buffer discards must
+// NOT be acknowledged — an ACK makes the sender forget the packet, and a
+// forgotten packet can never fill its sequence gap, deadlocking the stream
+// at the gap forever (the -exp loss sweep first exposed this).
+func TestFullOOOBufferDoesNotDeadlock(t *testing.T) {
+	n, a, b, ma, mb := pairWithSPP(t)
+	// Kill exactly the third data frame (ACKs are smaller than MinSize); at
+	// a 5ms send cadence, far more than maxOOO messages pile up behind the
+	// gap before the 500ms retransmit closes it.
+	fault.Attach(n.Sim, n.Link).
+		Lose(fault.MinSize{N: 300, M: &fault.NthOnly{K: 3}})
+	var got []uint32
+	rx, err := mb.Open(40, func(task *sim.Task, seq uint32, data []byte, src view.IP4, srcPort uint16) {
+		got = append(got, seq)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := ma.Open(41, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const msgs = 45
+	for i := 0; i < msgs; i++ {
+		a.SpawnAt(sim.Time(i+1)*5*sim.Millisecond, "send", func(task *sim.Task) {
+			_, _ = tx.Send(task, b.Addr(), 40, make([]byte, 300))
+		})
+	}
+	n.Sim.RunUntil(60 * sim.Second)
+	if len(got) != msgs {
+		t.Fatalf("delivered %d of %d: stream deadlocked behind the gap", len(got), msgs)
+	}
+	for i, s := range got {
+		if s != uint32(i+1) {
+			t.Fatalf("order violated at %d: %v", i, got[:i+1])
+		}
+	}
+	if tx.Stats().Abandoned != 0 {
+		t.Errorf("%d sends abandoned", tx.Stats().Abandoned)
+	}
+	if rx.Stats().OOOBuffered == 0 {
+		t.Error("out-of-order buffer never filled; test is vacuous")
+	}
+}
+
 // Corruption on the wire is caught by SPP's own checksum.
 func TestChecksumValidation(t *testing.T) {
 	n, a, b, ma, mb := pairWithSPP(t)
@@ -274,14 +310,9 @@ func TestChecksumValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mangled := 0
-	n.Link.SetMangleFn(func(wire []byte) {
-		// Corrupt only the first transmission of data packets.
-		if len(wire) > 50 && mangled == 0 {
-			wire[50] ^= 0xff
-			mangled++
-		}
-	})
+	// Corrupt only the first transmission of the data packet (ACKs are
+	// shorter than MinSize).
+	fault.Attach(n.Sim, n.Link).Corrupt(&fault.FlipByte{Offset: 50, MinSize: 51, Max: 1})
 	a.Spawn("send", func(task *sim.Task) {
 		_, _ = tx.Send(task, b.Addr(), 40, make([]byte, 100))
 	})

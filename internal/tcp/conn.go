@@ -86,6 +86,7 @@ type sndState struct {
 	iss uint32
 	una uint32
 	nxt uint32
+	max uint32 // highest sequence ever sent + 1 (snd.nxt may rewind below it on RTO)
 	wnd uint32 // peer's advertised window
 	// congestion control
 	cwnd     uint32
@@ -194,6 +195,7 @@ func (m *Manager) newConn(localPort uint16, remote view.IP4, remotePort uint16, 
 	c.snd.iss = m.iss()
 	c.snd.una = c.snd.iss
 	c.snd.nxt = c.snd.iss
+	c.snd.max = c.snd.iss
 	// Initial window of two segments: a lone first segment would sit
 	// behind the receiver's delayed-ACK clock for 200ms.
 	c.snd.cwnd = 2 * c.mss
@@ -252,6 +254,7 @@ func (c *Conn) SendBufBytes() int { return len(c.sndBuf) }
 
 func (c *Conn) sendSYN(t *sim.Task) {
 	c.snd.nxt = c.snd.iss + 1
+	c.bumpSndMax()
 	c.stats.SegsSent++
 	c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.snd.iss, 0, view.TCPSyn, c.rcv.wnd, nil)
 	c.armRexmit()
@@ -260,6 +263,7 @@ func (c *Conn) sendSYN(t *sim.Task) {
 
 func (c *Conn) sendSYNACK(t *sim.Task) {
 	c.snd.nxt = c.snd.iss + 1
+	c.bumpSndMax()
 	c.stats.SegsSent++
 	c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.snd.iss, c.rcv.nxt, view.TCPSyn|view.TCPAck, c.rcv.wnd, nil)
 	c.armRexmit()
@@ -391,6 +395,7 @@ func (c *Conn) output(t *sim.Task) {
 		}
 		seq := c.snd.nxt
 		c.snd.nxt += n
+		c.bumpSndMax()
 		c.stats.SegsSent++
 		c.stats.BytesSent += uint64(n)
 		c.ackTimer.Stop() // data segment carries the ACK
@@ -409,6 +414,7 @@ func (c *Conn) output(t *sim.Task) {
 	if c.finQueued && !c.finSent && c.snd.nxt == c.snd.una+uint32(len(c.sndBuf)) {
 		c.finSeq = c.snd.nxt
 		c.snd.nxt++
+		c.bumpSndMax()
 		c.finSent = true
 		c.stats.SegsSent++
 		c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.finSeq, c.rcv.nxt, view.TCPFin|view.TCPAck, c.rcv.wnd, nil)
@@ -522,12 +528,31 @@ func (c *Conn) onRexmitTimeout(t *sim.Task) {
 	c.snd.ssthresh = half
 	c.snd.cwnd = c.mss
 	c.snd.dupAcks = 0
-	c.retransmitOldest(t)
+	if n := c.retransmitOldest(t); n > 0 {
+		// Go-back-N: everything past the retransmitted segment predates
+		// the timeout and is presumed lost. Rewinding snd.nxt lets ACK
+		// progress reopen usableWindow so output() resends the rest under
+		// slow start, instead of paying one backed-off RTO per segment.
+		// snd.max remembers the true high-water mark so ACKs for rewound
+		// sequence space (data the receiver had buffered) stay acceptable.
+		c.snd.nxt = c.snd.una + n
+		if c.finSent && seqLE(c.snd.nxt, c.finSeq) {
+			c.finSent = false // FIN rewound too; output() re-sends it at drain
+		}
+	}
 	c.armRexmit()
 }
 
-// retransmitOldest resends one segment starting at snd.una.
-func (c *Conn) retransmitOldest(t *sim.Task) {
+// bumpSndMax records the high-water mark of sent sequence space.
+func (c *Conn) bumpSndMax() {
+	if seqGT(c.snd.nxt, c.snd.max) {
+		c.snd.max = c.snd.nxt
+	}
+}
+
+// retransmitOldest resends one segment starting at snd.una and reports how
+// many data bytes it carried (0 for a FIN-only retransmission).
+func (c *Conn) retransmitOldest(t *sim.Task) uint32 {
 	unacked := uint32(len(c.sndBuf))
 	if unacked > 0 {
 		n := unacked
@@ -537,12 +562,13 @@ func (c *Conn) retransmitOldest(t *sim.Task) {
 		c.stats.Retransmits++
 		payload := c.sndBuf[:n]
 		c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.snd.una, c.rcv.nxt, view.TCPAck|view.TCPPsh, c.rcv.wnd, payload)
-		return
+		return n
 	}
 	if c.finSent && seqLE(c.snd.una, c.finSeq) {
 		c.stats.Retransmits++
 		c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.finSeq, c.rcv.nxt, view.TCPFin|view.TCPAck, c.rcv.wnd, nil)
 	}
+	return 0
 }
 
 // --- teardown ---
@@ -683,6 +709,7 @@ func (c *Conn) sendWindowProbe(t *sim.Task) {
 		// A forced in-window send is real transmission: it advances
 		// snd.nxt and is covered by the retransmission timer.
 		c.snd.nxt += n
+		c.bumpSndMax()
 		c.stats.BytesSent += uint64(n)
 		c.armRexmit()
 	}

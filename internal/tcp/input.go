@@ -150,8 +150,11 @@ func (c *Conn) seqAcceptable(s seg) bool {
 // states forward.
 func (c *Conn) processAck(t *sim.Task, s seg) {
 	ack := s.ack
-	if seqGT(ack, c.snd.nxt) {
-		c.sendACK(t) // acks something not yet sent
+	// Compare against snd.max, not snd.nxt: after a timeout rewind the peer
+	// may legitimately ack sequence space above snd.nxt (data it had buffered
+	// out-of-order before the loss).
+	if seqGT(ack, c.snd.max) {
+		c.sendACK(t) // acks something never sent
 		return
 	}
 	if seqLE(ack, c.snd.una) {
@@ -188,6 +191,12 @@ func (c *Conn) processAck(t *sim.Task, s seg) {
 	acked := ack - c.snd.una
 	c.snd.dupAcks = 0
 	c.sampleRTT(ack)
+	c.backoff = 0 // forward progress: the path is passing traffic again
+	// An ACK covering one byte past the remaining buffer can only be our
+	// FIN — it was rewound by a timeout but had already reached the peer.
+	if c.finQueued && !c.finSent && acked > uint32(len(c.sndBuf)) {
+		c.finSent = true
+	}
 	// Slide the send buffer past acknowledged bytes (FIN occupies sequence
 	// space beyond the buffer).
 	dataAcked := acked
@@ -200,6 +209,9 @@ func (c *Conn) processAck(t *sim.Task, s seg) {
 		c.sndBuf = nil
 	}
 	c.snd.una = ack
+	if seqGT(c.snd.una, c.snd.nxt) {
+		c.snd.nxt = c.snd.una // ack overtook a rewound snd.nxt
+	}
 	c.snd.wnd = s.wnd
 	if s.wnd > 0 {
 		c.disarmPersist()
@@ -216,7 +228,6 @@ func (c *Conn) processAck(t *sim.Task, s seg) {
 	}
 	if c.snd.una == c.snd.nxt {
 		c.disarmRexmit()
-		c.backoff = 0
 	} else {
 		c.armRexmit()
 	}
