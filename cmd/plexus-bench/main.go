@@ -10,7 +10,7 @@
 // Usage:
 //
 //	plexus-bench                 # run everything
-//	plexus-bench -exp fig5       # one experiment: fig5 | tput | fig6 | fig7 | ablations
+//	plexus-bench -exp fig5       # one experiment: fig5 | tput | fig6 | fig7 | http | loss | rogue | ablations
 //	plexus-bench -exp fig5 -fastdriver
 //	plexus-bench -size 2097152   # bulk-transfer size for tput
 //	plexus-bench -parallel 1     # sequential (deterministic baseline)
@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all | fig5 | tput | fig6 | fig7 | http | loss | ablations")
+	exp := flag.String("exp", "all", "experiment: all | fig5 | tput | fig6 | fig7 | http | loss | rogue | ablations")
 	fast := flag.Bool("fastdriver", false, "use the faster device driver variant (§4.1)")
 	size := flag.Int("size", 1<<20, "bulk transfer size in bytes for -exp tput")
 	parallel := flag.Int("parallel", 0, "experiment cells run concurrently (0 = GOMAXPROCS, 1 = sequential)")
@@ -85,6 +85,7 @@ func main() {
 	run("fig7", fig7)
 	run("http", httpDemo)
 	run("loss", loss)
+	run("rogue", rogue)
 	run("ablations", ablations)
 }
 
@@ -217,6 +218,28 @@ func loss() (any, error) {
 		fmt.Fprintf(w, "%s\t%.0f%%\t%s\t%s\t%s\t%.1f%%\t%d\t%d\n",
 			r.Pattern, r.RatePct, r.System, r.Workload, metric,
 			r.DeliveredPct, r.Fault.Lost, r.LinkDropped)
+	}
+	return rows, w.Flush()
+}
+
+func rogue() (any, error) {
+	header("Extension safety: well-behaved flows vs misbehaving extensions (Ethernet)")
+	rows, err := bench.Rogue(bench.DefaultRogueCounts())
+	if err != nil {
+		return nil, err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "rogues\tsystem\tworkload\tmetric\tdelivered\tquarantined\tpanics\tterm\tguard overruns")
+	for _, r := range rows {
+		var metric string
+		if r.Workload == bench.WorkloadTCPBulk {
+			metric = fmt.Sprintf("%.2f Mb/s", r.GoodputMbps)
+		} else {
+			metric = fmt.Sprintf("%.0f%% msgs", r.DeliveredPct)
+		}
+		fmt.Fprintf(w, "%d\t%s\t%s\t%s\t%.1f%%\t%d\t%d\t%d\t%d\n",
+			r.Rogues, r.System, r.Workload, metric, r.DeliveredPct,
+			r.Quarantined, r.Panics+r.GuardPanics, r.Terminations, r.GuardOverruns)
 	}
 	return rows, w.Flush()
 }

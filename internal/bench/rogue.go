@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"fmt"
+
+	"plexus/internal/event"
+	"plexus/internal/netdev"
+	"plexus/internal/plexus"
+	"plexus/internal/seqpkt"
+	"plexus/internal/sim"
+	"plexus/internal/view"
+)
+
+// This file implements the `-exp rogue` sandbox experiment: how much a
+// well-behaved flow pays while misbehaving extensions are installed beside
+// it, and how quickly the quarantine ejects them. Each cell installs N
+// rogues (cycling through the archetypes of internal/plexus/rogue.go) on
+// the receiver, runs a legitimate workload to completion, and reports both
+// the flow's headline metric and the dispatcher's fault accounting. The
+// DIGITAL UNIX personality runs the same rogues through its softirq path —
+// the paper's safety argument (§2, §3.3) is about the extension
+// architecture, not a particular dispatch mode, so both must survive.
+
+// Quarantine policy used by every rogue cell.
+const (
+	rogueThreshold   = 5
+	rogueGuardBudget = 5 * sim.Microsecond
+)
+
+// RogueRow is one cell of the sandbox sweep: a rogue count, a system, a
+// workload, the flow's outcome, and the dispatcher's health counters after
+// the run.
+type RogueRow struct {
+	Rogues   int    `json:"rogues"`
+	System   System `json:"system"`
+	Workload string `json:"workload"`
+
+	// GoodputMbps is the receiver-observed rate (tcp-bulk only).
+	GoodputMbps float64 `json:"goodput_mbps,omitempty"`
+	// DeliveredPct is the fraction of the offered workload that completed.
+	DeliveredPct float64 `json:"delivered_pct"`
+
+	// Dispatcher fault accounting on the receiver after the run.
+	Quarantined   int    `json:"quarantined"`
+	Panics        uint64 `json:"panics"`
+	GuardPanics   uint64 `json:"guard_panics"`
+	Terminations  uint64 `json:"terminations"`
+	GuardOverruns uint64 `json:"guard_overruns"`
+}
+
+// rogueQuarantine is the ejection policy every rogue cell runs under.
+func rogueQuarantine() event.QuarantinePolicy {
+	return event.QuarantinePolicy{Threshold: rogueThreshold, GuardBudget: rogueGuardBudget}
+}
+
+// rogueRig is a two-host network with rogues rogue extensions installed on
+// the server, cycling through the archetypes in canonical order.
+func rogueRig(sys System, rogues int) (*plexus.Network, *plexus.Stack, *plexus.Stack, error) {
+	ca, sa := hostSpec("client", sys), hostSpec("server", sys)
+	ca.Quarantine, sa.Quarantine = rogueQuarantine(), rogueQuarantine()
+	n, client, server, err := plexus.TwoHosts(1, netdev.EthernetModel(), ca, sa)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	kinds := plexus.RogueKinds()
+	for i := 0; i < rogues; i++ {
+		if _, err := server.InstallExtension(plexus.RogueExtension(kinds[i%len(kinds)], i)); err != nil {
+			return nil, nil, nil, fmt.Errorf("install rogue %d: %w", i, err)
+		}
+	}
+	return n, client, server, nil
+}
+
+// health copies the server dispatcher's fault counters into the row.
+func (r *RogueRow) health(server *plexus.Stack) {
+	h := server.Host.Disp.Health()
+	r.Quarantined = h.Quarantined
+	r.Panics = h.Panics
+	r.GuardPanics = h.GuardPanics
+	r.Terminations = h.Terminations
+	r.GuardOverruns = h.GuardOverruns
+}
+
+// rogueTCPBulk pushes size bytes through one TCP connection while the
+// rogues misbehave on the receive path and reports goodput plus the
+// delivered fraction — TCP is reliable, so under 100% means the sandbox
+// failed to protect the flow within the horizon.
+func rogueTCPBulk(sys System, rogues, size int) (RogueRow, error) {
+	n, client, server, err := rogueRig(sys, rogues)
+	if err != nil {
+		return RogueRow{}, err
+	}
+	defer recordEvents(n.Sim)
+	var got int
+	var first, last sim.Time
+	_, err = server.ListenTCP(5001, plexus.TCPAppOptions{
+		OnRecv: func(t *sim.Task, conn *plexus.TCPApp, data []byte) {
+			if got == 0 {
+				first = t.Now()
+			}
+			got += len(data)
+			last = t.Now()
+		},
+		OnPeerFin: func(t *sim.Task, conn *plexus.TCPApp) { conn.Close(t) },
+	}, nil)
+	if err != nil {
+		return RogueRow{}, err
+	}
+	msg := make([]byte, size)
+	client.Spawn("sender", func(t *sim.Task) {
+		_, _ = client.ConnectTCP(t, server.Addr(), 5001, plexus.TCPAppOptions{
+			OnEstablished: func(t2 *sim.Task, conn *plexus.TCPApp) {
+				_ = conn.Send(t2, msg)
+				conn.Close(t2)
+			},
+		})
+	})
+	n.Sim.RunUntil(10 * 60 * sim.Second)
+	row := RogueRow{DeliveredPct: 100 * float64(got) / float64(size)}
+	if got > 0 && last > first {
+		row.GoodputMbps = float64(got) * 8 / (last - first).Seconds() / 1e6
+	}
+	row.health(server)
+	return row, nil
+}
+
+// rogueSPPStream sends msgs fixed-size SPP messages at a 20ms cadence with
+// the rogues installed on the receiver and reports the delivered fraction.
+func rogueSPPStream(sys System, rogues, msgs, msgSize int) (RogueRow, error) {
+	n, client, server, err := rogueRig(sys, rogues)
+	if err != nil {
+		return RogueRow{}, err
+	}
+	defer recordEvents(n.Sim)
+	install := func(st *plexus.Stack) (*seqpkt.Manager, error) {
+		return seqpkt.Install(seqpkt.Config{
+			Sim:              st.Host.Sim,
+			IP:               st.IP,
+			Disp:             st.Host.Disp,
+			Raise:            st.Raiser(),
+			CPU:              st.Host.CPU,
+			Pool:             st.Host.Pool,
+			Costs:            st.Host.Costs,
+			RequireEphemeral: st.InterruptMode(),
+		})
+	}
+	mc, err := install(client)
+	if err != nil {
+		return RogueRow{}, err
+	}
+	ms, err := install(server)
+	if err != nil {
+		return RogueRow{}, err
+	}
+	rx, err := ms.Open(40, func(t *sim.Task, seq uint32, data []byte, src view.IP4, srcPort uint16) {})
+	if err != nil {
+		return RogueRow{}, err
+	}
+	tx, err := mc.Open(41, nil)
+	if err != nil {
+		return RogueRow{}, err
+	}
+	payload := make([]byte, msgSize)
+	for i := 0; i < msgs; i++ {
+		client.SpawnAt(sim.Time(i+1)*20*sim.Millisecond, "spp-sender", func(t *sim.Task) {
+			_, _ = tx.Send(t, server.Addr(), 40, payload)
+		})
+	}
+	n.Sim.RunUntil(5 * 60 * sim.Second)
+	row := RogueRow{DeliveredPct: 100 * float64(rx.Stats().Delivered) / float64(msgs)}
+	row.health(server)
+	return row, nil
+}
+
+// Rogue runs the sandbox sweep: every rogue count × system × workload as an
+// independent cell (its own sim and hosts), fanned out over RunCells —
+// rows are byte-identical at any parallelism.
+func Rogue(counts []int) ([]RogueRow, error) {
+	const (
+		tcpBytes = 128 << 10
+		sppMsgs  = 50
+		sppSize  = 300
+	)
+	type cell struct {
+		rogues int
+		sys    System
+		wl     string
+	}
+	var cells []cell
+	for _, rogues := range counts {
+		for _, sys := range []System{SysPlexusInterrupt, SysDUX} {
+			for _, wl := range []string{WorkloadTCPBulk, WorkloadSPPStream} {
+				cells = append(cells, cell{rogues, sys, wl})
+			}
+		}
+	}
+	return RunCells(cells, func(c cell) (RogueRow, error) {
+		var row RogueRow
+		var err error
+		switch c.wl {
+		case WorkloadTCPBulk:
+			row, err = rogueTCPBulk(c.sys, c.rogues, tcpBytes)
+		default:
+			row, err = rogueSPPStream(c.sys, c.rogues, sppMsgs, sppSize)
+		}
+		if err != nil {
+			return RogueRow{}, fmt.Errorf("rogue %d/%s/%s: %w", c.rogues, c.sys, c.wl, err)
+		}
+		row.Rogues = c.rogues
+		row.System = c.sys
+		row.Workload = c.wl
+		return row, nil
+	})
+}
+
+// DefaultRogueCounts is the sweep of the `-exp rogue` experiment.
+func DefaultRogueCounts() []int { return []int{0, 1, 2, 4} }

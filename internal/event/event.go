@@ -19,6 +19,19 @@
 //
 // Dispatch cost is charged to the raising task: "the overhead of invoking
 // each handler is roughly one procedure call".
+//
+// # Crash containment and quarantine
+//
+// A handler or guard that panics is caught by the dispatcher: the time it
+// consumed stays charged, the fault is counted on its binding, and dispatch
+// continues to the remaining matched bindings — one rogue extension cannot
+// stop delivery to the rest of the protocol graph. Faults (panics, allotment
+// terminations, guard budget overruns) accumulate per binding; an optional
+// QuarantinePolicy auto-disables a binding once its fault count reaches a
+// threshold — the paper's "the manager can reject the handler" extended to
+// runtime ejection. Dispatcher-integrity panics (raising an undeclared
+// event, exceeding the recursion bound) are NOT contained: they indicate a
+// misbuilt graph, not a misbehaving extension, and propagate to the caller.
 package event
 
 import (
@@ -99,23 +112,44 @@ var (
 	ErrNotEphemeral = errors.New("event: handler is not EPHEMERAL")
 	// ErrDuplicate reports a duplicate event declaration.
 	ErrDuplicate = errors.New("event: already declared")
+	// ErrAllotmentNotEphemeral reports an attempt to install a non-EPHEMERAL
+	// handler with a time allotment. Allotments are enforced by premature
+	// termination, which only EPHEMERAL handlers tolerate (§3.3); terminating
+	// an ordinary handler could leave shared state corrupt.
+	ErrAllotmentNotEphemeral = errors.New("event: time allotment requires an EPHEMERAL handler")
 )
 
-// BindingStats counts a binding's dispatch activity.
+// BindingStats counts a binding's dispatch activity and its faults. The sum
+// Faults() is what the quarantine policy compares against its threshold.
 type BindingStats struct {
-	Invocations  uint64 // handler bodies run
-	GuardRejects uint64 // raises filtered out by the guard
-	Terminations uint64 // premature terminations for budget overrun
+	Invocations   uint64 // handler bodies run
+	GuardRejects  uint64 // raises filtered out by the guard
+	Terminations  uint64 // premature terminations for budget overrun
+	Panics        uint64 // handler bodies that panicked (contained)
+	GuardPanics   uint64 // guard evaluations that panicked (contained; counts as a reject)
+	GuardOverruns uint64 // guard evaluations exceeding the policy's GuardBudget
+}
+
+// Faults is the total misbehavior charged against the binding: allotment
+// terminations, contained panics (handler or guard), and guard overruns.
+func (s BindingStats) Faults() uint64 {
+	return s.Terminations + s.Panics + s.GuardPanics + s.GuardOverruns
 }
 
 // Binding is one installed (guard, handler) pair; the handle for uninstall.
+//
+// Lifecycle: a *Binding stays valid after the binding stops delivering —
+// whether by Uninstall or by quarantine — so owners can read Stats(),
+// Quarantined(), and Removed() post-mortem. Only dispatch stops; the handle
+// is never recycled.
 type Binding struct {
-	event     *eventState
-	guard     Guard
-	handler   Handler
-	allotment sim.Time // 0 = unlimited
-	removed   bool
-	stats     BindingStats
+	event       *eventState
+	guard       Guard
+	handler     Handler
+	allotment   sim.Time // 0 = unlimited
+	removed     bool
+	quarantined bool
+	stats       BindingStats
 }
 
 // Stats returns a snapshot of the binding's counters.
@@ -126,6 +160,33 @@ func (b *Binding) Handler() Handler { return b.handler }
 
 // Allotment returns the per-invocation time budget (0 = unlimited).
 func (b *Binding) Allotment() sim.Time { return b.allotment }
+
+// Quarantined reports whether the dispatcher auto-disabled the binding after
+// it reached the quarantine policy's fault threshold.
+func (b *Binding) Quarantined() bool { return b.quarantined }
+
+// Removed reports whether the binding was uninstalled.
+func (b *Binding) Removed() bool { return b.removed }
+
+// Event returns the name of the event the binding was installed on.
+func (b *Binding) Event() Name { return b.event.name }
+
+// QuarantinePolicy configures runtime ejection of faulty bindings. The zero
+// value disables quarantine (faults are still counted in BindingStats).
+type QuarantinePolicy struct {
+	// Threshold is the fault count (BindingStats.Faults) at which the
+	// dispatcher auto-disables a binding. 0 disables quarantine.
+	Threshold uint64
+	// GuardBudget bounds the CPU a single guard evaluation may consume
+	// beyond the dispatcher's own GuardEval charge. A guard exceeding it is
+	// refunded down to the budget and charged a GuardOverruns fault —
+	// allotment enforcement extended to guards, which the paper requires to
+	// be cheap predicates. 0 = unlimited.
+	GuardBudget sim.Time
+}
+
+// Enabled reports whether the policy ejects bindings.
+func (p QuarantinePolicy) Enabled() bool { return p.Threshold > 0 }
 
 type eventState struct {
 	name     Name
@@ -145,6 +206,11 @@ type Dispatcher struct {
 	// the per-raise snapshot does not allocate in steady state. Indexed by
 	// depth-1; nested raises each get their own buffer.
 	scratch [][]*Binding
+	// quar is the quarantine policy; zero value = disabled.
+	quar QuarantinePolicy
+	// ejected retains quarantined bindings (already detached from their
+	// events) so Health can still account for them.
+	ejected []*Binding
 }
 
 // maxRaiseDepth bounds protocol-graph recursion; real stacks are ~6 deep.
@@ -153,6 +219,52 @@ const maxRaiseDepth = 64
 // NewDispatcher creates a dispatcher with the given cost model.
 func NewDispatcher(costs Costs) *Dispatcher {
 	return &Dispatcher{costs: costs, events: make(map[Name]*eventState)}
+}
+
+// SetQuarantine installs (or, with the zero value, disables) the quarantine
+// policy. It applies to faults recorded after the call; bindings already
+// quarantined stay quarantined.
+func (d *Dispatcher) SetQuarantine(p QuarantinePolicy) { d.quar = p }
+
+// Quarantine returns the active quarantine policy.
+func (d *Dispatcher) Quarantine() QuarantinePolicy { return d.quar }
+
+// Health is a dispatcher-level snapshot of extension behavior: how many
+// bindings are live, how many the quarantine policy has ejected, and the
+// fault totals accumulated across every binding (including ejected ones).
+type Health struct {
+	Events        int    // declared events
+	Bindings      int    // live installed bindings
+	Quarantined   int    // bindings auto-disabled by the quarantine policy
+	Invocations   uint64 // handler bodies run
+	Panics        uint64 // handler panics contained
+	GuardPanics   uint64 // guard panics contained
+	Terminations  uint64 // allotment overruns terminated
+	GuardOverruns uint64 // guard budget overruns
+	Faults        uint64 // sum of the four fault classes
+}
+
+// Health returns the dispatcher's current health snapshot.
+func (d *Dispatcher) Health() Health {
+	h := Health{Events: len(d.events), Quarantined: len(d.ejected)}
+	acc := func(b *Binding) {
+		h.Invocations += b.stats.Invocations
+		h.Panics += b.stats.Panics
+		h.GuardPanics += b.stats.GuardPanics
+		h.Terminations += b.stats.Terminations
+		h.GuardOverruns += b.stats.GuardOverruns
+		h.Faults += b.stats.Faults()
+	}
+	for _, ev := range d.events {
+		h.Bindings += len(ev.bindings)
+		for _, b := range ev.bindings {
+			acc(b)
+		}
+	}
+	for _, b := range d.ejected {
+		acc(b)
+	}
+	return h
 }
 
 // Declare registers an event name. Redeclaration fails.
@@ -191,17 +303,41 @@ func (d *Dispatcher) Install(name Name, guard Guard, h Handler, allotment sim.Ti
 	if h.Fn == nil {
 		return nil, fmt.Errorf("event: nil handler %q on %s", h.Name, name)
 	}
+	if allotment < 0 {
+		return nil, fmt.Errorf("event: negative allotment %v for %q on %s", allotment, h.Name, name)
+	}
+	if allotment > 0 && !h.Ephemeral {
+		return nil, fmt.Errorf("%w: %s on %s", ErrAllotmentNotEphemeral, h.Name, name)
+	}
 	b := &Binding{event: ev, guard: guard, handler: h, allotment: allotment}
 	ev.bindings = append(ev.bindings, b)
 	return b, nil
 }
 
-// Uninstall detaches a binding. Detaching twice is a no-op returning false.
+// Uninstall detaches a binding. Semantics:
+//
+//   - Returns true iff this call removed an actively dispatching binding.
+//   - Double-uninstall is a no-op returning false.
+//   - Uninstalling a quarantined binding marks it removed but returns false
+//     (quarantine had already detached it).
+//   - A binding uninstalled during a raise does not fire later in that same
+//     raise, even though the raise's dispatch snapshot was taken before the
+//     removal.
+//   - The *Binding handle stays valid afterwards: Stats() remains readable;
+//     only delivery stops.
 func (d *Dispatcher) Uninstall(b *Binding) bool {
 	if b == nil || b.removed {
 		return false
 	}
 	b.removed = true
+	if b.quarantined {
+		return false
+	}
+	return detach(b)
+}
+
+// detach splices a binding out of its event's dispatch list.
+func detach(b *Binding) bool {
 	ev := b.event
 	for i, x := range ev.bindings {
 		if x == b {
@@ -228,19 +364,89 @@ func (d *Dispatcher) Raises(name Name) uint64 {
 	return 0
 }
 
+// graphPanic marks dispatcher-integrity panics (raise of an undeclared
+// event, recursion bound exceeded) so crash containment rethrows them
+// instead of charging them to whichever extension's handler happened to be
+// on the stack.
+type graphPanic struct{ msg string }
+
+func (g graphPanic) Error() string  { return g.msg }
+func (g graphPanic) String() string { return g.msg }
+
+// evalGuard runs one guard under crash containment. A panicking guard is
+// treated as a reject; the fault is the caller's to count.
+func (d *Dispatcher) evalGuard(t *sim.Task, name Name, b *Binding, m *mbuf.Mbuf) (ok, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if gp, isGraph := r.(graphPanic); isGraph {
+				panic(gp)
+			}
+			panicked = true
+			if t.Sim().TraceEnabled() {
+				t.Sim().Tracef(sim.TraceEvent, "%s: guard of %s panicked (contained): %v",
+					name, b.handler.Name, r)
+			}
+		}
+	}()
+	return b.guard(t, m), false
+}
+
+// invoke runs one handler body under crash containment.
+func (d *Dispatcher) invoke(t *sim.Task, name Name, b *Binding, m *mbuf.Mbuf) (panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if gp, isGraph := r.(graphPanic); isGraph {
+				panic(gp)
+			}
+			panicked = true
+			if t.Sim().TraceEnabled() {
+				t.Sim().Tracef(sim.TraceEvent, "%s: handler %s panicked (contained): %v",
+					name, b.handler.Name, r)
+			}
+		}
+	}()
+	b.handler.Fn(t, m)
+	return false
+}
+
+// fault applies the quarantine policy after a fault was recorded on b.
+func (d *Dispatcher) fault(t *sim.Task, name Name, b *Binding) {
+	if d.quar.Threshold == 0 || b.quarantined || b.removed {
+		return
+	}
+	if b.stats.Faults() < d.quar.Threshold {
+		return
+	}
+	b.quarantined = true
+	detach(b)
+	d.ejected = append(d.ejected, b)
+	if t.Sim().TraceEnabled() {
+		t.Sim().Tracef(sim.TraceEvent, "%s: handler %s quarantined after %d faults",
+			name, b.handler.Name, b.stats.Faults())
+	}
+}
+
 // Raise announces the event to every installed handler whose guard accepts
 // the packet, charging the raising task per the cost model. It returns the
 // number of handlers invoked. Raising an undeclared event panics: in SPIN
 // only code linked against the event's interface can name it, so an unknown
 // name is a programming error, not a runtime condition.
+//
+// Handlers and guards run under crash containment: a panic is caught and
+// counted (BindingStats.Panics / GuardPanics), the time consumed stays
+// charged, and dispatch continues. Containment preserves the graph, not the
+// packet — a handler that panicked mid-mutation may leave the mbuf chain in
+// a state later handlers must tolerate, exactly as they must tolerate any
+// other handler's consumption of the packet.
 func (d *Dispatcher) Raise(t *sim.Task, name Name, m *mbuf.Mbuf) int {
 	ev, ok := d.events[name]
 	if !ok {
-		panic(fmt.Sprintf("event: raise of undeclared event %s", name))
+		panic(graphPanic{fmt.Sprintf("event: raise of undeclared event %s", name)})
 	}
 	depth := atomic.AddInt32(&d.raiseDepth, 1)
 	if depth > maxRaiseDepth {
-		panic(fmt.Sprintf("event: raise depth exceeds %d (cycle in protocol graph?) at %s", maxRaiseDepth, name))
+		atomic.AddInt32(&d.raiseDepth, -1)
+		panic(graphPanic{fmt.Sprintf("event: raise depth exceeds %d (cycle in protocol graph?) at %s", maxRaiseDepth, name)})
 	}
 	defer atomic.AddInt32(&d.raiseDepth, -1)
 	ev.raises++
@@ -260,12 +466,28 @@ func (d *Dispatcher) Raise(t *sim.Task, name Name, m *mbuf.Mbuf) int {
 	// only ever writes an index the scan has already passed.
 	matched := bindings[:0]
 	for _, b := range bindings {
-		if b.removed {
+		if b.removed || b.quarantined {
 			continue
 		}
 		if b.guard != nil {
 			t.Charge(d.costs.GuardEval)
-			if !b.guard(t, m) {
+			before := t.Charged()
+			ok, panicked := d.evalGuard(t, name, b, m)
+			if d.quar.GuardBudget > 0 {
+				if over := t.Charged() - before - d.quar.GuardBudget; over > 0 {
+					// The guard overran its budget: terminate it there, like
+					// a handler at its allotment.
+					t.Refund(over)
+					b.stats.GuardOverruns++
+					d.fault(t, name, b)
+				}
+			}
+			if panicked {
+				b.stats.GuardPanics++
+				d.fault(t, name, b)
+				continue
+			}
+			if !ok {
 				b.stats.GuardRejects++
 				continue
 			}
@@ -273,9 +495,15 @@ func (d *Dispatcher) Raise(t *sim.Task, name Name, m *mbuf.Mbuf) int {
 		matched = append(matched, b)
 	}
 	for _, b := range matched {
+		// Re-check liveness: an earlier handler in this same raise may have
+		// uninstalled b, or b's guard fault may have quarantined it after it
+		// matched. A removed binding must not fire on the stale snapshot.
+		if b.removed || b.quarantined {
+			continue
+		}
 		t.Charge(d.costs.Invoke)
 		before := t.Charged()
-		b.handler.Fn(t, m)
+		panicked := d.invoke(t, name, b, m)
 		consumed := t.Charged() - before
 		if b.allotment > 0 && consumed > b.allotment {
 			// Premature termination: the handler stopped at its
@@ -284,6 +512,11 @@ func (d *Dispatcher) Raise(t *sim.Task, name Name, m *mbuf.Mbuf) int {
 			t.Sim().Tracef(sim.TraceEvent, "%s: handler %s terminated after %v (allotment %v)",
 				name, b.handler.Name, consumed, b.allotment)
 			b.stats.Terminations++
+			d.fault(t, name, b)
+		}
+		if panicked {
+			b.stats.Panics++
+			d.fault(t, name, b)
 		}
 		b.stats.Invocations++
 		invoked++

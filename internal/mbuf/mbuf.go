@@ -225,6 +225,11 @@ func (m *Mbuf) Hdr() *PktHdr { return m.hdr }
 // IsCluster reports whether this mbuf's storage is a cluster.
 func (m *Mbuf) IsCluster() bool { return m.clust != nil }
 
+// Freed reports whether this mbuf has been returned to the pool. A freed
+// mbuf must not be used; the accessor exists for fault diagnostics (e.g.
+// detecting that a dispatched frame was already consumed by its owner).
+func (m *Mbuf) Freed() bool { return m.freed }
+
 // chainLen walks the chain summing data lengths.
 func (m *Mbuf) chainLen() int {
 	n := 0

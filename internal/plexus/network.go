@@ -3,6 +3,7 @@ package plexus
 import (
 	"fmt"
 
+	"plexus/internal/event"
 	"plexus/internal/mbuf"
 	"plexus/internal/netdev"
 	"plexus/internal/osmodel"
@@ -22,6 +23,9 @@ type HostSpec struct {
 	// simulator — because experiment cells run concurrently and pools
 	// carry per-sim statistics and free lists.
 	Pool *mbuf.Pool
+	// Quarantine configures the host dispatcher's fault-ejection policy
+	// (zero value = disabled).
+	Quarantine event.QuarantinePolicy
 }
 
 // Network is a set of hosts sharing one link — the paper's two-machine
@@ -50,6 +54,7 @@ func NewNetwork(seed int64, model netdev.Model, specs []HostSpec) (*Network, err
 			Mask:        view.IP4{255, 255, 255, 0},
 			Costs:       spec.Costs,
 			Pool:        spec.Pool,
+			Quarantine:  spec.Quarantine,
 		}
 		st, err := NewStack(s, spec.Name, cfg)
 		if err != nil {

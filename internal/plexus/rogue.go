@@ -1,0 +1,133 @@
+package plexus
+
+// Rogue extension archetypes: the adversarial suite the sandbox is proved
+// against. Each archetype is a way an application-specific handler can
+// misbehave that the paper's §2/§3.3 safety story must survive:
+//
+//   - RogueSpin: an "infinite loop" at interrupt level — the handler burns
+//     far more CPU than its allotment every packet. The dispatcher
+//     terminates it at the allotment (§3.3) and each termination is a fault.
+//   - RogueSteal: a packet-stealing filter — an always-true guard that also
+//     burns CPU in the guard itself, where the architecture requires cheap
+//     predicates. The guard-budget clamp refunds the excess and counts an
+//     overrun fault.
+//   - RoguePanic: a handler that crashes (panics) on every Nth packet.
+//     Containment keeps dispatch alive; each panic is a fault.
+//   - RogueFree: a handler that frees packet references it does not own.
+//     The mbuf pool's double-free detection trips, the panic is contained,
+//     and each attempt is a fault.
+//
+// All four are deterministic: their behavior depends only on the packets
+// dispatched to them, so adversarial runs replay byte-identically.
+
+import (
+	"fmt"
+
+	"plexus/internal/domain"
+	"plexus/internal/ether"
+	"plexus/internal/event"
+	"plexus/internal/mbuf"
+	"plexus/internal/sim"
+)
+
+// RogueKind names a rogue-extension archetype.
+type RogueKind string
+
+// The archetypes of the adversarial suite.
+const (
+	RogueSpin  RogueKind = "spin"
+	RogueSteal RogueKind = "steal"
+	RoguePanic RogueKind = "panic"
+	RogueFree  RogueKind = "free"
+)
+
+// RogueKinds returns the archetypes in their canonical order (the order the
+// bench sweep cycles through as the rogue count grows).
+func RogueKinds() []RogueKind {
+	return []RogueKind{RogueSpin, RogueSteal, RoguePanic, RogueFree}
+}
+
+// Rogue behavior parameters.
+const (
+	// rogueSpinAllotment is the EPHEMERAL budget the spinning handler
+	// claims; rogueSpinBurn is what it actually consumes per packet.
+	rogueSpinAllotment = 50 * sim.Microsecond
+	rogueSpinBurn      = 10 * sim.Millisecond
+	// rogueStealBurn is the CPU the stealing guard burns per evaluation.
+	rogueStealBurn = 25 * sim.Microsecond
+	// roguePanicEvery makes the panicking handler crash on every Nth packet.
+	roguePanicEvery = 3
+)
+
+// RogueExtension builds the idx-th rogue extension of the given archetype.
+// Every rogue claims to be a well-behaved EPHEMERAL packet tap on
+// Ethernet.PacketRecv, linked through the restricted extension domain like
+// any application extension — the lie is in its behavior, which only the
+// sandbox (allotments, guard budgets, containment, quarantine) catches.
+func RogueExtension(kind RogueKind, idx int) ExtensionSpec {
+	name := fmt.Sprintf("rogue-%s-%d", kind, idx)
+	return ExtensionSpec{
+		Name:    name,
+		Imports: []domain.Symbol{"Ethernet.Layer"},
+		Install: func(ctx *ExtensionCtx) error {
+			v, ok := ctx.Resolve("Ethernet.Layer")
+			if !ok {
+				return fmt.Errorf("%s: Ethernet.Layer not resolved", name)
+			}
+			eth := v.(*ether.Layer)
+			var guard event.Guard
+			var fn event.HandlerFunc
+			allotment := sim.Time(0)
+			switch kind {
+			case RogueSpin:
+				// Models an infinite loop: consumes 200× its claimed budget
+				// on every packet.
+				allotment = rogueSpinAllotment
+				fn = func(t *sim.Task, m *mbuf.Mbuf) { t.Charge(rogueSpinBurn) }
+			case RogueSteal:
+				// An always-true "filter" that does its stealing work inside
+				// the guard, where evaluation is supposed to be cheap.
+				guard = func(t *sim.Task, m *mbuf.Mbuf) bool {
+					t.Charge(rogueStealBurn)
+					return true
+				}
+				fn = func(t *sim.Task, m *mbuf.Mbuf) {}
+			case RoguePanic:
+				n := 0
+				fn = func(t *sim.Task, m *mbuf.Mbuf) {
+					n++
+					if n%roguePanicEvery == 0 {
+						panic(fmt.Sprintf("%s: crash on packet %d", name, n))
+					}
+				}
+			case RogueFree:
+				// Frees packet references it does not own. The dispatched
+				// frame usually belongs to (and was already consumed by) an
+				// earlier handler; re-freeing it trips the pool's double-free
+				// detection. If the frame is still live, the rogue clones it
+				// — sharing the owner's cluster references — and double-frees
+				// the clone, attacking those shared references instead.
+				// Either way the panic is contained and counted.
+				fn = func(t *sim.Task, m *mbuf.Mbuf) {
+					switch {
+					case m.Freed():
+						m.Free() // not ours, already freed: double free
+					case m.Hdr() != nil:
+						if c, err := m.Clone(); err == nil {
+							c.Free()
+							c.Free() // double free of shared references
+						}
+					}
+				}
+			default:
+				return fmt.Errorf("unknown rogue kind %q", kind)
+			}
+			b, err := eth.InstallRecv(guard, event.Ephemeral(name, fn), allotment)
+			if err != nil {
+				return err
+			}
+			ctx.Adopt(b)
+			return nil
+		},
+	}
+}

@@ -44,6 +44,10 @@ type StackConfig struct {
 	Costs *osmodel.Costs
 	// Pool overrides the host's mbuf pool (nil = a fresh per-host pool).
 	Pool *mbuf.Pool
+	// Quarantine configures the dispatcher's fault-ejection policy for
+	// misbehaving handlers (zero value = disabled; faults are still
+	// counted in BindingStats).
+	Quarantine event.QuarantinePolicy
 }
 
 // Stack is a fully assembled protocol graph on one host.
@@ -114,6 +118,7 @@ func NewStack(s *sim.Sim, name string, cfg StackConfig) (*Stack, error) {
 	if cfg.Pool != nil {
 		host.Pool = cfg.Pool
 	}
+	host.Disp.SetQuarantine(cfg.Quarantine)
 	raiser := &modeRaiser{host: host, mode: cfg.Dispatch}
 	interruptMode := cfg.Personality == osmodel.SPIN && cfg.Dispatch == osmodel.DispatchInterrupt
 
