@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all | fig5 | tput | fig6 | fig7 | http | loss | rogue | ablations")
+	exp := flag.String("exp", "all", "experiment: all | fig5 | tput | fig6 | fig7 | http | latency | loss | rogue | ablations")
 	fast := flag.Bool("fastdriver", false, "use the faster device driver variant (§4.1)")
 	size := flag.Int("size", 1<<20, "bulk transfer size in bytes for -exp tput")
 	parallel := flag.Int("parallel", 0, "experiment cells run concurrently (0 = GOMAXPROCS, 1 = sequential)")
@@ -84,6 +84,7 @@ func main() {
 	run("fig6", fig6)
 	run("fig7", fig7)
 	run("http", httpDemo)
+	run("latency", latency)
 	run("loss", loss)
 	run("rogue", rogue)
 	run("ablations", ablations)
@@ -128,9 +129,10 @@ func fig5(fast bool) (any, error) {
 		return nil, err
 	}
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "device\tsystem\tRTT (µs)")
+	fmt.Fprintln(w, "device\tsystem\tRTT (µs)\tp50\tp90\tp99")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%s\t%s\t%.0f\n", r.Device, r.System, r.RTT.Micros())
+		fmt.Fprintf(w, "%s\t%s\t%.0f\t%.0f\t%.0f\t%.0f\n",
+			r.Device, r.System, r.RTT.Micros(), r.P50.Micros(), r.P90.Micros(), r.P99.Micros())
 	}
 	return rows, w.Flush()
 }
@@ -193,6 +195,22 @@ func httpDemo() (any, error) {
 	fmt.Fprintln(w, "server\tlatency (µs)")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%s\t%.0f\n", r.System, r.Latency.Micros())
+	}
+	return rows, w.Flush()
+}
+
+func latency() (any, error) {
+	header("RTT distribution: UDP echo percentiles with the metrics plane enabled (µs)")
+	rows, err := bench.Latency(bench.DefaultLatencyRounds)
+	if err != nil {
+		return nil, err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "device\tsystem\tmean\tp50\tp90\tp99\tmbuf in-use\tmbuf high-water")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%.0f\t%.0f\t%.0f\t%.0f\t%d\t%d\n",
+			r.Device, r.System, r.Mean.Micros(), r.P50.Micros(), r.P90.Micros(), r.P99.Micros(),
+			r.Mbuf.InUse, r.Mbuf.HighWater)
 	}
 	return rows, w.Flush()
 }

@@ -1,13 +1,19 @@
 // Command plexus-trace runs a small scenario on the simulated network and
-// dumps the annotated event trace: CPU task scheduling, wire transmissions,
-// protocol decisions, and dispatcher activity, each stamped with simulated
-// time. It is the debugging lens for the protocol graph.
+// dumps what the flight recorder saw: the annotated text trace (CPU task
+// scheduling, wire transmissions, protocol decisions, dispatcher activity),
+// single-packet lifecycle itineraries, a simulated-CPU profile as Chrome
+// trace_event JSON (loadable in Perfetto) or folded stacks, each stamped
+// with simulated time. It is the debugging lens for the protocol graph.
 //
 // Usage:
 //
-//	plexus-trace                  # UDP echo scenario, all categories
-//	plexus-trace -scenario tcp    # TCP handshake + small transfer
-//	plexus-trace -only net,proto  # filter categories (cpu,net,proto,app,event)
+//	plexus-trace                      # UDP echo scenario, all categories
+//	plexus-trace -scenario tcp        # TCP handshake + small transfer
+//	plexus-trace -only net,proto      # filter categories (cpu,net,proto,app,event)
+//	plexus-trace -spans               # list packet lifecycle spans
+//	plexus-trace -follow 3            # one packet's full itinerary, per-hop deltas
+//	plexus-trace -chrome out.json     # Chrome trace_event profile (Perfetto)
+//	plexus-trace -folded out.txt      # folded-stacks CPU profile
 package main
 
 import (
@@ -21,15 +27,20 @@ import (
 	"plexus/internal/osmodel"
 	"plexus/internal/plexus"
 	"plexus/internal/sim"
+	"plexus/internal/stats"
 	"plexus/internal/view"
 )
 
 func main() {
 	scenario := flag.String("scenario", "udp", "scenario: udp | tcp | ping")
 	only := flag.String("only", "", "comma-separated categories: cpu,net,proto,app,event (default all)")
+	spans := flag.Bool("spans", false, "list packet lifecycle spans instead of the text trace")
+	follow := flag.Uint64("follow", 0, "print the full itinerary of one packet span (see -spans)")
+	chrome := flag.String("chrome", "", "write a Chrome trace_event JSON profile to this file")
+	folded := flag.String("folded", "", "write a folded-stacks CPU profile to this file")
 	flag.Parse()
 
-	filter := map[sim.TraceCategory]bool{}
+	var cats []sim.TraceCategory
 	if *only != "" {
 		names := map[string]sim.TraceCategory{
 			"cpu": sim.TraceCPU, "net": sim.TraceNet, "proto": sim.TraceProto,
@@ -41,7 +52,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "plexus-trace: unknown category %q\n", n)
 				os.Exit(2)
 			}
-			filter[cat] = true
+			cats = append(cats, cat)
 		}
 	}
 
@@ -53,10 +64,13 @@ func main() {
 		os.Exit(1)
 	}
 	rec := &sim.RecordingTracer{}
-	if len(filter) > 0 {
-		rec.Only = filter
-	}
 	net.Sim.SetTracer(rec)
+	if len(cats) > 0 {
+		// Emit-path filtering: disabled categories never pay the Sprintf.
+		net.Sim.EnableTrace(cats...)
+	}
+	metrics := stats.NewRecorder(stats.Config{})
+	net.Sim.SetMetrics(metrics)
 
 	switch *scenario {
 	case "udp":
@@ -120,7 +134,74 @@ func main() {
 		os.Exit(1)
 	}
 	net.Sim.RunUntil(120 * sim.Second)
-	fmt.Print(rec.String())
-	fmt.Printf("%d trace events, %d sim events executed, final time %v\n",
-		len(rec.Lines), net.Sim.Executed(), net.Sim.Now())
+
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "plexus-trace:", err)
+			os.Exit(1)
+		}
+		if err := metrics.WriteChromeTrace(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "plexus-trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote Chrome trace (%d samples, %d hops) to %s — open at ui.perfetto.dev\n",
+			metrics.SamplesRecorded(), metrics.HopsRecorded(), *chrome)
+	}
+	if *folded != "" {
+		if err := os.WriteFile(*folded, []byte(metrics.Folded()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "plexus-trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote folded CPU profile to %s\n", *folded)
+	}
+	switch {
+	case *follow != 0:
+		printItinerary(metrics, *follow)
+	case *spans:
+		printSpans(metrics)
+	case *chrome == "" && *folded == "":
+		fmt.Print(rec.String())
+		fmt.Printf("%d trace events, %d sim events executed, final time %v\n",
+			len(rec.Lines), net.Sim.Executed(), net.Sim.Now())
+	}
+}
+
+// printSpans summarizes every recorded packet span: first/last hop and count.
+func printSpans(m *stats.Recorder) {
+	ids := m.Spans()
+	if len(ids) == 0 {
+		fmt.Println("no packet spans recorded")
+		return
+	}
+	for _, id := range ids {
+		hops := m.SpanHops(id)
+		first, last := hops[0], hops[len(hops)-1]
+		fmt.Printf("span %-4d %2d hops  %12v → %-12v  %s/%s.%s → %s/%s.%s\n",
+			id, len(hops), first.At, last.At,
+			first.Host, first.Layer, first.Action, last.Host, last.Layer, last.Action)
+	}
+	fmt.Printf("%d spans; follow one with -follow <n>\n", len(ids))
+}
+
+// printItinerary prints one packet's lifecycle with per-hop simulated-time
+// deltas — the "where did my packet spend its time" view.
+func printItinerary(m *stats.Recorder, span uint64) {
+	hops := m.SpanHops(span)
+	if len(hops) == 0 {
+		fmt.Printf("span %d: no hops recorded (use -spans to list)\n", span)
+		os.Exit(1)
+	}
+	fmt.Printf("span %d: %d hops, %v total\n", span, len(hops), hops[len(hops)-1].At-hops[0].At)
+	prev := hops[0].At
+	for _, h := range hops {
+		fmt.Printf("  %12v  +%-10v %-8s %-6s %-14s %dB\n",
+			h.At, h.At-prev, h.Host, h.Layer, h.Action, h.Bytes)
+		prev = h.At
+	}
 }

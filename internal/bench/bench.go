@@ -50,67 +50,41 @@ func hostSpec(name string, sys System) plexus.HostSpec {
 // ---------------------------------------------------------------------------
 // Figure 5: UDP round-trip latency for small (8-byte) packets.
 
-// Fig5Row is one bar of Figure 5.
+// Fig5Row is one bar of Figure 5. RTT is the mean; the percentile columns
+// come from the fixed-bucket histogram plane over the same rounds.
 type Fig5Row struct {
 	Device string
 	System System
 	RTT    sim.Time
+	P50    sim.Time
+	P90    sim.Time
+	P99    sim.Time
 }
 
 // UDPEchoRTT measures one application-to-application UDP round trip of
 // payload bytes on the given device and system, averaged over rounds
 // ping-pongs (steady-state: ARP primed, first round discarded).
 func UDPEchoRTT(model netdev.Model, sys System, payload, rounds int) (sim.Time, error) {
-	n, client, server, err := plexus.TwoHosts(1, model, hostSpec("client", sys), hostSpec("server", sys))
+	rtts, _, err := udpEchoRTTs(model, sys, payload, rounds, nil)
 	if err != nil {
 		return 0, err
-	}
-	defer recordEvents(n.Sim)
-	var echo *plexus.UDPApp
-	echo, err = server.OpenUDP(plexus.UDPAppOptions{Port: 7}, func(t *sim.Task, data []byte, src view.IP4, srcPort uint16) {
-		t.Charge(server.Host.Costs.AppHandler)
-		_ = echo.Send(t, src, srcPort, data)
-	})
-	if err != nil {
-		return 0, err
-	}
-	msg := make([]byte, payload)
-	var capp *plexus.UDPApp
-	var starts, ends []sim.Time
-	capp, err = client.OpenUDP(plexus.UDPAppOptions{}, func(t *sim.Task, data []byte, src view.IP4, srcPort uint16) {
-		t.Charge(client.Host.Costs.AppHandler)
-		ends = append(ends, t.Now())
-		if len(ends) < rounds+1 { // +1: warm-up round
-			starts = append(starts, t.Now())
-			_ = capp.Send(t, server.Addr(), 7, msg)
-		}
-	})
-	if err != nil {
-		return 0, err
-	}
-	client.Spawn("client", func(t *sim.Task) {
-		starts = append(starts, t.Now())
-		_ = capp.Send(t, server.Addr(), 7, msg)
-	})
-	n.Sim.RunUntil(60 * sim.Second)
-	if len(ends) < rounds+1 {
-		return 0, fmt.Errorf("bench: only %d echo rounds completed", len(ends))
 	}
 	var total sim.Time
-	for i := 1; i <= rounds; i++ { // skip warm-up
-		total += ends[i] - starts[i]
+	for _, r := range rtts {
+		total += r
 	}
 	return total / sim.Time(rounds), nil
 }
 
-// DriverEchoRTT measures the round trip with a raw echo handler installed
+// driverEchoRTTs measures round trips with a raw echo handler installed
 // directly on Ethernet.PacketRecv — no protocol layers, the paper's "minimal
-// round trip time ... as measured between the device drivers".
-func DriverEchoRTT(model netdev.Model, payload, rounds int) (sim.Time, error) {
+// round trip time ... as measured between the device drivers" — returning
+// every post-warm-up sample.
+func driverEchoRTTs(model netdev.Model, payload, rounds int) ([]sim.Time, error) {
 	n, client, server, err := plexus.TwoHosts(1, model,
 		hostSpec("client", SysDriverMin), hostSpec("server", SysDriverMin))
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	defer recordEvents(n.Sim)
 	const rawType = 0x88B6
@@ -129,7 +103,7 @@ func DriverEchoRTT(model netdev.Model, payload, rounds int) (sim.Time, error) {
 			_ = server.Ether.Send(t, eth.Src(), rawType, reply)
 		}), 0)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	var starts, ends []sim.Time
 	var send func(t *sim.Task)
@@ -147,16 +121,29 @@ func DriverEchoRTT(model netdev.Model, payload, rounds int) (sim.Time, error) {
 			}
 		}), 0)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	client.Spawn("client", send)
 	n.Sim.RunUntil(60 * sim.Second)
 	if len(ends) < rounds+1 {
-		return 0, fmt.Errorf("bench: only %d raw rounds completed", len(ends))
+		return nil, fmt.Errorf("bench: only %d raw rounds completed", len(ends))
+	}
+	rtts := make([]sim.Time, rounds)
+	for i := 1; i <= rounds; i++ {
+		rtts[i-1] = ends[i] - starts[i]
+	}
+	return rtts, nil
+}
+
+// DriverEchoRTT is driverEchoRTTs reduced to its mean.
+func DriverEchoRTT(model netdev.Model, payload, rounds int) (sim.Time, error) {
+	rtts, err := driverEchoRTTs(model, payload, rounds)
+	if err != nil {
+		return 0, err
 	}
 	var total sim.Time
-	for i := 1; i <= rounds; i++ {
-		total += ends[i] - starts[i]
+	for _, r := range rtts {
+		total += r
 	}
 	return total / sim.Time(rounds), nil
 }
@@ -186,12 +173,12 @@ func Fig5(fastDriver bool) ([]Fig5Row, error) {
 		cells = append(cells, cell{model: model, sys: SysDriverMin, driver: true})
 	}
 	return RunCells(cells, func(c cell) (Fig5Row, error) {
-		var rtt sim.Time
+		var rtts []sim.Time
 		var err error
 		if c.driver {
-			rtt, err = DriverEchoRTT(c.model, 8, rounds)
+			rtts, err = driverEchoRTTs(c.model, 8, rounds)
 		} else {
-			rtt, err = UDPEchoRTT(c.model, c.sys, 8, rounds)
+			rtts, _, err = udpEchoRTTs(c.model, c.sys, 8, rounds, nil)
 		}
 		if err != nil {
 			kind := string(c.sys)
@@ -200,7 +187,9 @@ func Fig5(fastDriver bool) ([]Fig5Row, error) {
 			}
 			return Fig5Row{}, fmt.Errorf("fig5 %s/%s: %w", c.model.Name, kind, err)
 		}
-		return Fig5Row{Device: c.model.Name, System: c.sys, RTT: rtt}, nil
+		s := summarize(rtts)
+		return Fig5Row{Device: c.model.Name, System: c.sys,
+			RTT: s.Mean, P50: s.P50, P90: s.P90, P99: s.P99}, nil
 	})
 }
 

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestLatencyDeterministic extends the determinism guarantee to the metrics
+// plane: every latency cell attaches a live stats.Recorder, so identical rows
+// at -parallel 1 and 4 prove that recording spans, samples, and histograms
+// perturbs neither the simulation nor the harness ordering.
+func TestLatencyDeterministic(t *testing.T) {
+	const rounds = 50
+	defer SetParallelism(0)
+	SetParallelism(1)
+	seq, err := Latency(rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetParallelism(4)
+	par, err := Latency(rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare the marshalled form too: it is what plexus-bench -json emits
+	// and what CI diffs, so it must be byte-identical.
+	seqJSON, err := json.Marshal(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parJSON, err := json.Marshal(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) || string(seqJSON) != string(parJSON) {
+		t.Fatalf("Latency rows differ between sequential and parallel runs:\nseq: %s\npar: %s", seqJSON, parJSON)
+	}
+	for _, r := range seq {
+		if r.P50 <= 0 || r.P50 > r.P90 || r.P90 > r.P99 {
+			t.Fatalf("row %s/%s has non-monotone percentiles: %+v", r.Device, r.System, r)
+		}
+		if r.Mbuf.HighWater <= 0 {
+			t.Fatalf("row %s/%s missing mbuf gauge: %+v", r.Device, r.System, r)
+		}
+		if r.Mbuf.InUse != 0 {
+			t.Fatalf("row %s/%s leaks %d mbufs after the run", r.Device, r.System, r.Mbuf.InUse)
+		}
+		if r.HopsRecorded == 0 {
+			t.Fatalf("row %s/%s recorded no packet hops", r.Device, r.System)
+		}
+	}
+}
+
+// TestRogueHealthDeterministic pins the dispatcher health and quarantine
+// counters under the parallel harness: the safety numbers the rogue sweep
+// reports must not depend on worker scheduling.
+func TestRogueHealthDeterministic(t *testing.T) {
+	counts := []int{0, 2}
+	defer SetParallelism(0)
+	SetParallelism(1)
+	seq, err := Rogue(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetParallelism(4)
+	par, err := Rogue(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("Rogue rows differ between sequential and parallel runs:\nseq: %+v\npar: %+v", seq, par)
+	}
+	var quarantined int
+	for _, r := range seq {
+		quarantined += r.Quarantined
+	}
+	if quarantined == 0 {
+		t.Fatal("rogue sweep with 2 rogues should quarantine at least one extension")
+	}
+}

@@ -92,7 +92,10 @@ func (l *Layer) NIC() *netdev.NIC { return l.nic }
 // it. The source address is always overwritten with the interface address —
 // the cheap anti-spoofing policy of §3.1.
 func (l *Layer) Send(t *sim.Task, dst view.MAC, etherType uint16, m *mbuf.Mbuf) error {
-	t.Charge(l.costs.EtherProc)
+	t.ChargeProf(sim.ProfProto, "ether", l.costs.EtherProc)
+	if hdr := m.Hdr(); hdr != nil {
+		t.Hop(hdr.Span, "ether", "send", hdr.Len)
+	}
 	fm, err := m.Prepend(view.EthernetHdrLen)
 	if err != nil {
 		m.Free()

@@ -211,6 +211,9 @@ type Dispatcher struct {
 	// ejected retains quarantined bindings (already detached from their
 	// events) so Health can still account for them.
 	ejected []*Binding
+	// pool, when attached, contributes the host's mbuf gauge to Health so
+	// buffer leaks surface in the same snapshot as fault counters.
+	pool *mbuf.Pool
 }
 
 // maxRaiseDepth bounds protocol-graph recursion; real stacks are ~6 deep.
@@ -242,6 +245,10 @@ type Health struct {
 	Terminations  uint64 // allotment overruns terminated
 	GuardOverruns uint64 // guard budget overruns
 	Faults        uint64 // sum of the four fault classes
+
+	// Mbuf is the host pool's live-buffer gauge (zero value when no pool
+	// is attached): in-flight mbufs/clusters and their high-water marks.
+	Mbuf mbuf.Gauge
 }
 
 // Health returns the dispatcher's current health snapshot.
@@ -264,8 +271,15 @@ func (d *Dispatcher) Health() Health {
 	for _, b := range d.ejected {
 		acc(b)
 	}
+	if d.pool != nil {
+		h.Mbuf = d.pool.Gauge()
+	}
 	return h
 }
+
+// AttachPool associates the host's mbuf pool with the dispatcher so Health
+// includes the buffer gauge. Nil detaches.
+func (d *Dispatcher) AttachPool(p *mbuf.Pool) { d.pool = p }
 
 // Declare registers an event name. Redeclaration fails.
 func (d *Dispatcher) Declare(name Name, opts Options) error {
@@ -450,6 +464,11 @@ func (d *Dispatcher) Raise(t *sim.Task, name Name, m *mbuf.Mbuf) int {
 	}
 	defer atomic.AddInt32(&d.raiseDepth, -1)
 	ev.raises++
+	if m != nil {
+		if hdr := m.Hdr(); hdr != nil {
+			t.Hop(hdr.Span, "event", string(name), hdr.Len)
+		}
+	}
 	invoked := 0
 	// Snapshot: handlers installed/removed during dispatch take effect on
 	// the next raise, matching SPIN's install semantics. The snapshot is
@@ -470,7 +489,7 @@ func (d *Dispatcher) Raise(t *sim.Task, name Name, m *mbuf.Mbuf) int {
 			continue
 		}
 		if b.guard != nil {
-			t.Charge(d.costs.GuardEval)
+			t.ChargeProf(sim.ProfDispatch, b.handler.Name, d.costs.GuardEval)
 			before := t.Charged()
 			ok, panicked := d.evalGuard(t, name, b, m)
 			if d.quar.GuardBudget > 0 {
@@ -501,7 +520,7 @@ func (d *Dispatcher) Raise(t *sim.Task, name Name, m *mbuf.Mbuf) int {
 		if b.removed || b.quarantined {
 			continue
 		}
-		t.Charge(d.costs.Invoke)
+		t.ChargeProf(sim.ProfDispatch, b.handler.Name, d.costs.Invoke)
 		before := t.Charged()
 		panicked := d.invoke(t, name, b, m)
 		consumed := t.Charged() - before
@@ -517,6 +536,12 @@ func (d *Dispatcher) Raise(t *sim.Task, name Name, m *mbuf.Mbuf) int {
 		if panicked {
 			b.stats.Panics++
 			d.fault(t, name, b)
+		}
+		if mm := t.Sim().Metrics(); mm != nil {
+			// Attribute the handler body's post-clamp consumption; the
+			// slice starts where the body began in virtual time.
+			mm.Sample(t.CPU().Name(), sim.ProfHandler, b.handler.Name, t.Priority(),
+				t.Start()+before, t.Charged()-before)
 		}
 		b.stats.Invocations++
 		invoked++

@@ -184,7 +184,7 @@ func (l *Layer) nextHop(dst view.IP4) (view.IP4, error) {
 // "overwrite" policy); transports that verify instead pass an explicit src
 // which must equal the interface address.
 func (l *Layer) Send(t *sim.Task, src, dst view.IP4, proto uint8, m *mbuf.Mbuf) error {
-	t.Charge(l.costs.IPProc)
+	t.ChargeProf(sim.ProfProto, "ip", l.costs.IPProc)
 	if src == (view.IP4{}) {
 		src = l.addr
 	} else if src != l.addr {
@@ -261,8 +261,11 @@ func (l *Layer) sendFragment(t *sim.Task, src, dst view.IP4, proto uint8, id uin
 	v.SetSrc(src)
 	v.SetDst(dst)
 	v.ComputeChecksum()
-	t.ChargeBytes(view.IPv4MinHdrLen, l.costs.ChecksumPerByte)
+	t.ChargeBytesProf(sim.ProfChecksum, "ip", view.IPv4MinHdrLen, l.costs.ChecksumPerByte)
 	l.stats.Sent++
+	if hdr := dm.Hdr(); hdr != nil {
+		t.Hop(hdr.Span, "ip", "send", hdr.Len)
+	}
 	if l.disp.HandlerCount(SendEvent) > 0 {
 		l.eth.Raise(t, SendEvent, dm)
 	}
@@ -274,7 +277,10 @@ func (l *Layer) sendFragment(t *sim.Task, src, dst view.IP4, proto uint8, id uin
 // addresses: the datagram re-enters the graph below IP, exactly as a
 // redirected packet should.
 func (l *Layer) Forward(t *sim.Task, m *mbuf.Mbuf) error {
-	t.Charge(l.costs.IPProc)
+	t.ChargeProf(sim.ProfProto, "ip", l.costs.IPProc)
+	if hdr := m.Hdr(); hdr != nil {
+		t.Hop(hdr.Span, "ip", "forward", hdr.Len)
+	}
 	v, err := view.IPv4(m.Bytes())
 	if err != nil {
 		m.Free()
@@ -292,7 +298,7 @@ func (l *Layer) Forward(t *sim.Task, m *mbuf.Mbuf) error {
 // input is the guard-selected handler on Ethernet.PacketRecv: validate the
 // datagram, reassemble fragments, and raise IP.PacketRecv.
 func (l *Layer) input(t *sim.Task, m *mbuf.Mbuf) {
-	t.Charge(l.costs.IPProc)
+	t.ChargeProf(sim.ProfProto, "ip", l.costs.IPProc)
 	l.stats.Received++
 	m.Adj(view.EthernetHdrLen) // strip link header; window op, legal on read-only chains
 	dm, err := m.Pullup(min(m.PktLen(), view.IPv4MinHdrLen))
@@ -318,7 +324,7 @@ func (l *Layer) input(t *sim.Task, m *mbuf.Mbuf) {
 		m.Adj(v.TotalLen() - m.PktLen())
 	}
 	if l.VerifyRxChecksum {
-		t.ChargeBytes(v.HdrLen(), l.costs.ChecksumPerByte)
+		t.ChargeBytesProf(sim.ProfChecksum, "ip", v.HdrLen(), l.costs.ChecksumPerByte)
 		if !v.VerifyChecksum() {
 			l.stats.BadChecksum++
 			m.Free()
@@ -339,6 +345,9 @@ func (l *Layer) input(t *sim.Task, m *mbuf.Mbuf) {
 		}
 	}
 	l.stats.Delivered++
+	if hdr := m.Hdr(); hdr != nil {
+		t.Hop(hdr.Span, "ip", "recv", hdr.Len)
+	}
 	if l.eth.Raise(t, RecvEvent, m) == 0 {
 		l.sim.Tracef(sim.TraceProto, "ip: datagram proto=%d with no handler", v.Proto())
 		m.Free()

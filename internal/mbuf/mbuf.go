@@ -58,6 +58,11 @@ type PktHdr struct {
 	// Timestamp is an opaque arrival stamp (simulated nanoseconds in this
 	// reproduction); the mbuf layer does not interpret it.
 	Timestamp int64
+	// Span is the packet-lifecycle trace ID (see sim.Metrics): stamped at
+	// NIC/socket entry, carried across every header operation that moves
+	// the PktHdr, and copied across the wire so one ID follows the packet
+	// end to end. 0 means unstamped; the mbuf layer does not interpret it.
+	Span uint64
 	// Multicast marks link-level multicast/broadcast receptions.
 	Multicast bool
 }
@@ -91,11 +96,37 @@ type Pool struct {
 
 // Stats counts pool activity.
 type Stats struct {
-	AllocSmall   uint64 // small mbufs handed out
-	AllocCluster uint64 // clusters handed out
-	Free         uint64 // mbufs returned
-	InUse        int64  // currently live mbufs
-	Recycled     uint64 // allocations satisfied from a free list (small mbufs and clusters)
+	AllocSmall        uint64 // small mbufs handed out
+	AllocCluster      uint64 // clusters handed out
+	Free              uint64 // mbufs returned
+	InUse             int64  // currently live mbufs
+	InUseClusters     int64  // currently live clusters (shared clusters count once)
+	HighWater         int64  // maximum InUse ever observed
+	HighWaterClusters int64  // maximum InUseClusters ever observed
+	Recycled          uint64 // allocations satisfied from a free list (small mbufs and clusters)
+}
+
+// Gauge is the pool's live-buffer gauge: what is in flight right now and the
+// worst it has ever been. Dispatcher.Health() and the bench -json output
+// surface it so leak regressions show up as a nonzero in-use count (or a
+// high-water jump) in diffable artifacts.
+type Gauge struct {
+	InUse             int64 `json:"mbuf_in_use"`
+	InUseClusters     int64 `json:"mbuf_clusters_in_use"`
+	HighWater         int64 `json:"mbuf_high_water"`
+	HighWaterClusters int64 `json:"mbuf_cluster_high_water"`
+}
+
+// Gauge returns the pool's live-buffer gauge.
+func (p *Pool) Gauge() Gauge {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Gauge{
+		InUse:             p.stats.InUse,
+		InUseClusters:     p.stats.InUseClusters,
+		HighWater:         p.stats.HighWater,
+		HighWaterClusters: p.stats.HighWaterClusters,
+	}
 }
 
 // NewPool returns an empty pool.
@@ -131,8 +162,15 @@ func (p *Pool) get(withCluster bool) *Mbuf {
 	}
 	p.stats.AllocSmall++
 	p.stats.InUse++
+	if p.stats.InUse > p.stats.HighWater {
+		p.stats.HighWater = p.stats.InUse
+	}
 	if withCluster {
 		p.stats.AllocCluster++
+		p.stats.InUseClusters++
+		if p.stats.InUseClusters > p.stats.HighWaterClusters {
+			p.stats.HighWaterClusters = p.stats.InUseClusters
+		}
 		if n := len(p.freeClust); n > 0 {
 			c := p.freeClust[n-1]
 			p.freeClust[n-1] = nil
@@ -618,6 +656,9 @@ func (m *Mbuf) release() {
 	p.mu.Lock()
 	p.stats.Free++
 	p.stats.InUse--
+	if c != nil && c.refs == 0 {
+		p.stats.InUseClusters--
+	}
 	m.next = nil
 	m.hdr = nil
 	if len(p.freeSmall) < 1024 {

@@ -147,6 +147,11 @@ type Link struct {
 type frame struct {
 	buf  []byte
 	refs int
+	// span carries the packet-lifecycle trace ID across the wire: the real
+	// frame bytes have no room for it, but the wire snapshot is simulator
+	// state, so the receiver can re-stamp its private copy with the
+	// sender's ID and one span follows the packet end to end.
+	span uint64
 	next *frame
 }
 
@@ -331,11 +336,19 @@ func (n *NIC) Transmit(t *sim.Task, m *mbuf.Mbuf) error {
 		m.Free()
 		return fmt.Errorf("netdev %s: frame of %d bytes exceeds MTU %d", n.name, size, n.model.MTU)
 	}
-	t.Charge(n.model.TxDriver)
-	t.ChargeBytes(size, n.model.PIOPerByte)
+	// Stamp a lifecycle span at NIC entry if no upper layer already did:
+	// from here the packet is traceable even when injected below the
+	// protocol stack.
+	if n.sim.MetricsEnabled() && m.Hdr().Span == 0 {
+		m.Hdr().Span = n.sim.NextSpan()
+	}
+	span := m.Hdr().Span
+	t.ChargeProf(sim.ProfDriver, n.name, n.model.TxDriver)
+	t.ChargeBytesProf(sim.ProfCopy, n.name, size, n.model.PIOPerByte)
 	// Carrier down: the driver ran, but the frame goes nowhere.
 	if !n.link.up {
 		n.link.downDrops++
+		t.Hop(span, "wire", "drop-linkdown", size)
 		if n.sim.TraceEnabled() {
 			n.sim.Tracef(sim.TraceNet, "%s: link down, frame dropped", n.name)
 		}
@@ -346,6 +359,7 @@ func (n *NIC) Transmit(t *sim.Task, m *mbuf.Mbuf) error {
 	// bound, the frame is dropped rather than queued forever.
 	if n.model.MaxBacklog > 0 && n.link.busyUntil > t.Now()+n.model.MaxBacklog {
 		n.stats.TxDrops++
+		t.Hop(span, "wire", "drop-overflow", size)
 		if n.sim.TraceEnabled() {
 			n.sim.Tracef(sim.TraceNet, "%s: tx queue overflow, frame dropped", n.name)
 		}
@@ -370,9 +384,12 @@ func (n *NIC) Transmit(t *sim.Task, m *mbuf.Mbuf) error {
 		n.sim.Tracef(sim.TraceNet, "%s: tx %dB depart=%v arrive=%v", n.name, size, depart, arrival)
 	}
 
+	t.Hop(span, "wire", "tx", size)
+
 	// Snapshot the wire bytes once into a recycled frame; every receiver
 	// views the same immutable snapshot, as if from its own receive ring.
 	f := n.link.getFrame(size)
+	f.span = span
 	err := m.CopyTo(0, f.buf)
 	m.Free()
 	if err != nil {
@@ -384,6 +401,7 @@ func (n *NIC) Transmit(t *sim.Task, m *mbuf.Mbuf) error {
 	}
 	if n.link.dropFn != nil && n.link.dropFn(f.buf) {
 		n.link.dropped++
+		t.Hop(span, "wire", "drop-loss", size)
 		n.link.putFrame(f)
 		if n.sim.TraceEnabled() {
 			n.sim.Tracef(sim.TraceNet, "%s: frame dropped by loss injector", n.name)
@@ -449,14 +467,17 @@ func nicRx(t *sim.Task, a any) {
 	j.next = n.jobFree
 	n.jobFree = j
 	wire := f.buf
-	t.Charge(n.model.IntrEntry + n.model.RxDriver)
-	t.ChargeBytes(len(wire), n.model.PIOPerByte)
+	t.ChargeProf(sim.ProfTrap, n.name, n.model.IntrEntry)
+	t.ChargeProf(sim.ProfDriver, n.name, n.model.RxDriver)
+	t.ChargeBytesProf(sim.ProfCopy, n.name, len(wire), n.model.PIOPerByte)
 	m := n.pool.FromBytes(wire, 0)
 	n.stats.RxFrames++
 	n.stats.RxBytes += uint64(len(wire))
-	n.link.putFrame(f) // the packet owns a private copy now
+	m.Hdr().Span = f.span // sender's lifecycle span survives the wire
+	n.link.putFrame(f)    // the packet owns a private copy now
 	m.Hdr().RcvIf = n.name
 	m.Hdr().Timestamp = int64(t.Now())
+	t.Hop(m.Hdr().Span, "wire", "rx", len(wire))
 	if eth, err := view.Ethernet(m.Bytes()); err == nil {
 		d := eth.Dst()
 		m.Hdr().Multicast = d.IsBroadcast() || d.IsMulticast()

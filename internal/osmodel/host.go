@@ -43,6 +43,7 @@ func NewHost(s *sim.Sim, name string, p Personality, costs Costs) *Host {
 		KernelDomain:    domain.New(name + "/kernel"),
 		ExtensionDomain: domain.New(name + "/extension"),
 	}
+	h.Disp.AttachPool(h.Pool)
 	return h
 }
 
@@ -50,6 +51,6 @@ func NewHost(s *sim.Sim, name string, p Personality, costs Costs) *Host {
 // hosts; SPIN extensions are co-located with the kernel and pay nothing.
 func (h *Host) ChargeUserKernelCopy(t *sim.Task, n int) {
 	if h.Personality == Monolithic {
-		t.ChargeBytes(n, h.Costs.CopyPerByte)
+		t.ChargeBytesProf(sim.ProfCopy, "user-copy", n, h.Costs.CopyPerByte)
 	}
 }

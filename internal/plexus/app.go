@@ -119,10 +119,10 @@ func (app *UDPApp) deliver(t *sim.Task, payload *mbuf.Mbuf, src view.IP4, srcPor
 		return
 	}
 	costs := st.Host.Costs
-	t.Charge(costs.SocketLayer + costs.Wakeup)
+	t.ChargeProf(sim.ProfTrap, "socket", costs.SocketLayer+costs.Wakeup)
 	st.Host.CPU.SubmitAt(t.Now(), sim.PrioUser, app.recvLabel, func(ut *sim.Task) {
-		ut.Charge(costs.CtxSwitch + costs.Syscall)
-		ut.ChargeBytes(len(data), costs.CopyPerByte)
+		ut.ChargeProf(sim.ProfTrap, "syscall", costs.CtxSwitch+costs.Syscall)
+		ut.ChargeBytesProf(sim.ProfCopy, "copyout", len(data), costs.CopyPerByte)
 		if app.opts.AppRecvCost > 0 {
 			ut.Charge(app.opts.AppRecvCost)
 		}
@@ -138,8 +138,8 @@ func (app *UDPApp) Send(t *sim.Task, dst view.IP4, dstPort uint16, payload []byt
 	st := app.st
 	if st.Host.Personality == osmodel.Monolithic {
 		costs := st.Host.Costs
-		t.Charge(costs.Syscall + costs.SocketLayer)
-		t.ChargeBytes(len(payload), costs.CopyPerByte)
+		t.ChargeProf(sim.ProfTrap, "syscall", costs.Syscall+costs.SocketLayer)
+		t.ChargeBytesProf(sim.ProfCopy, "copyin", len(payload), costs.CopyPerByte)
 	}
 	m := st.Host.Pool.FromBytes(payload, 64)
 	return app.ep.Send(t, dst, dstPort, m)
@@ -151,8 +151,8 @@ func (app *UDPApp) SendMbuf(t *sim.Task, dst view.IP4, dstPort uint16, m *mbuf.M
 	st := app.st
 	if st.Host.Personality == osmodel.Monolithic {
 		costs := st.Host.Costs
-		t.Charge(costs.Syscall + costs.SocketLayer)
-		t.ChargeBytes(m.PktLen(), costs.CopyPerByte)
+		t.ChargeProf(sim.ProfTrap, "syscall", costs.Syscall+costs.SocketLayer)
+		t.ChargeBytesProf(sim.ProfCopy, "copyin", m.PktLen(), costs.CopyPerByte)
 	}
 	return app.ep.Send(t, dst, dstPort, m)
 }

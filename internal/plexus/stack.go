@@ -88,7 +88,7 @@ func (r *modeRaiser) Raise(t *sim.Task, name event.Name, m *mbuf.Mbuf) int {
 		if n == 0 {
 			return 0
 		}
-		t.Charge(r.host.Costs.ThreadSpawn)
+		t.ChargeProf(sim.ProfDispatch, "thread-spawn", r.host.Costs.ThreadSpawn)
 		r.host.CPU.SubmitAt(t.Now(), sim.PrioKernel, "raise:"+string(name), func(t2 *sim.Task) {
 			disp.Raise(t2, name, m)
 		})
@@ -99,7 +99,7 @@ func (r *modeRaiser) Raise(t *sim.Task, name event.Name, m *mbuf.Mbuf) int {
 			return 0
 		}
 		r.host.CPU.SubmitAt(t.Now(), sim.PrioKernel, "softirq:"+string(name), func(t2 *sim.Task) {
-			t2.Charge(r.host.Costs.SoftIRQ)
+			t2.ChargeProf(sim.ProfDispatch, "softirq", r.host.Costs.SoftIRQ)
 			disp.Raise(t2, name, m)
 		})
 		return n

@@ -146,7 +146,10 @@ func (m *Manager) MaxPayload() int {
 
 // input validates an SPP packet and raises SeqPkt.PacketRecv.
 func (m *Manager) input(t *sim.Task, pkt *mbuf.Mbuf) {
-	t.Charge(procCost)
+	t.ChargeProf(sim.ProfProto, "spp", procCost)
+	if hdr := pkt.Hdr(); hdr != nil {
+		t.Hop(hdr.Span, "spp", "recv", hdr.Len)
+	}
 	ipv, err := view.IPv4(pkt.Bytes())
 	if err != nil {
 		m.stats.BadHeader++
@@ -160,7 +163,7 @@ func (m *Manager) input(t *sim.Task, pkt *mbuf.Mbuf) {
 		pkt.Free()
 		return
 	}
-	t.ChargeBytes(plen, m.costs.ChecksumPerByte)
+	t.ChargeBytesProf(sim.ProfChecksum, "spp", plen, m.costs.ChecksumPerByte)
 	a := view.PseudoHeader(ipv.Src(), ipv.Dst(), IPProto, plen)
 	if err := ip.ChecksumChain(&a, pkt, hl, plen); err != nil || a.Fold() != 0 {
 		m.stats.BadChecksum++
@@ -205,17 +208,22 @@ func parsePacket(pkt *mbuf.Mbuf) (header, bool) {
 
 // send builds and transmits one SPP packet.
 func (m *Manager) send(t *sim.Task, srcPort uint16, dst view.IP4, dstPort uint16, typ uint8, seq uint32, payload []byte) error {
-	t.Charge(procCost)
+	t.ChargeProf(sim.ProfProto, "spp", procCost)
 	buf := make([]byte, hdrLen+len(payload))
 	buf[0], buf[1] = byte(srcPort>>8), byte(srcPort)
 	buf[2], buf[3] = byte(dstPort>>8), byte(dstPort)
 	buf[4] = typ
 	buf[6], buf[7], buf[8], buf[9] = byte(seq>>24), byte(seq>>16), byte(seq>>8), byte(seq)
 	copy(buf[hdrLen:], payload)
-	t.ChargeBytes(len(buf), m.costs.ChecksumPerByte)
+	t.ChargeBytesProf(sim.ProfChecksum, "spp", len(buf), m.costs.ChecksumPerByte)
 	a := view.PseudoHeader(m.ip.Addr(), dst, IPProto, len(buf))
 	a.Add(buf)
 	c := a.Fold()
 	buf[10], buf[11] = byte(c>>8), byte(c)
-	return m.ip.Send(t, view.IP4{}, dst, IPProto, m.pool.FromBytes(buf, 64))
+	pkt := m.pool.FromBytes(buf, 64)
+	if s := t.Sim(); s.MetricsEnabled() {
+		pkt.Hdr().Span = s.NextSpan()
+		t.Hop(pkt.Hdr().Span, "spp", "send", pkt.Hdr().Len)
+	}
+	return m.ip.Send(t, view.IP4{}, dst, IPProto, pkt)
 }

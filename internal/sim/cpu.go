@@ -157,6 +157,13 @@ func submitArrive(a any) {
 	pt.seq = c.seq
 	c.seq++
 	c.queue[pt.prio] = append(c.queue[pt.prio], pt)
+	if m := c.sim.metrics; m != nil {
+		depth := 0
+		for p := range c.queue {
+			depth += len(c.queue[p])
+		}
+		m.QueueDepth(c.name, depth)
+	}
 	c.kick()
 }
 
@@ -292,6 +299,9 @@ func (c *CPU) runTask(start Time, pt pendingTask) {
 	c.busy += task.charged
 	c.freeAt = start + task.charged
 	c.running = false
+	if m := c.sim.metrics; m != nil {
+		m.Sample(c.name, ProfTask, pt.label, pt.prio, start, task.charged)
+	}
 	if c.sim.tracer != nil {
 		c.sim.tracef(TraceCPU, c.freeAt, "%s: done %s charged=%v", c.name, pt.label, task.charged)
 	}

@@ -88,13 +88,16 @@ func eventBefore(a, b *event) bool {
 // use: the whole point is a single deterministic timeline. Independent Sims
 // (one per experiment cell) may run on different goroutines concurrently.
 type Sim struct {
-	now      Time
-	seq      uint64
-	queue    []*event // 4-ary min-heap keyed on (at, seq)
-	free     *event   // recycled events
-	rng      *rand.Rand
-	executed uint64
-	tracer   Tracer
+	now          Time
+	seq          uint64
+	queue        []*event // 4-ary min-heap keyed on (at, seq)
+	free         *event   // recycled events
+	rng          *rand.Rand
+	executed     uint64
+	tracer       Tracer
+	traceEnabled [numTraceCategories]bool
+	metrics      Metrics
+	spanSeq      uint64 // packet-lifecycle trace IDs; 0 = unstamped
 }
 
 // New returns a simulator whose clock starts at zero and whose PRNG is

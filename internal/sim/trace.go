@@ -38,16 +38,44 @@ type Tracer interface {
 	Trace(cat TraceCategory, at Time, msg string)
 }
 
-// SetTracer installs (or clears, with nil) the simulation's tracer.
-func (s *Sim) SetTracer(t Tracer) { s.tracer = t }
+// SetTracer installs (or clears, with nil) the simulation's tracer. All
+// categories start enabled; narrow with EnableTrace.
+func (s *Sim) SetTracer(t Tracer) {
+	s.tracer = t
+	for i := range s.traceEnabled {
+		s.traceEnabled[i] = t != nil
+	}
+}
 
-// Tracef emits a trace line at the current simulated time.
+// EnableTrace restricts trace emission to the listed categories. Filtering
+// happens in the emit path, before any formatting, so a disabled category
+// costs one branch — sinks like RecordingTracer.Only filter *after* the
+// fmt.Sprintf has already been paid and should be reserved for sinks that
+// need overlapping category sets.
+func (s *Sim) EnableTrace(cats ...TraceCategory) {
+	for i := range s.traceEnabled {
+		s.traceEnabled[i] = false
+	}
+	for _, c := range cats {
+		if c >= 0 && c < numTraceCategories {
+			s.traceEnabled[c] = true
+		}
+	}
+}
+
+// TraceOn reports whether trace lines in cat would currently be emitted.
+func (s *Sim) TraceOn(cat TraceCategory) bool {
+	return s.tracer != nil && cat >= 0 && cat < numTraceCategories && s.traceEnabled[cat]
+}
+
+// Tracef emits a trace line at the current simulated time. Disabled
+// categories return before the format arguments are rendered.
 func (s *Sim) Tracef(cat TraceCategory, format string, args ...any) {
 	s.tracef(cat, s.now, format, args...)
 }
 
 func (s *Sim) tracef(cat TraceCategory, at Time, format string, args ...any) {
-	if s.tracer == nil {
+	if s.tracer == nil || cat < 0 || cat >= numTraceCategories || !s.traceEnabled[cat] {
 		return
 	}
 	s.tracer.Trace(cat, at, fmt.Sprintf(format, args...))

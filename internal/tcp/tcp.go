@@ -165,7 +165,10 @@ func (m *Manager) MSS() int { return m.ip.MTU() - view.IPv4MinHdrLen - view.TCPM
 // input validates a TCP segment and raises TCP.PacketRecv; segments matching
 // no guard draw an RST.
 func (m *Manager) input(t *sim.Task, pkt *mbuf.Mbuf) {
-	t.Charge(m.costs.TCPProc)
+	t.ChargeProf(sim.ProfProto, "tcp", m.costs.TCPProc)
+	if hdr := pkt.Hdr(); hdr != nil {
+		t.Hop(hdr.Span, "tcp", "recv", hdr.Len)
+	}
 	m.stats.SegsIn++
 	ipv, err := view.IPv4(pkt.Bytes())
 	if err != nil {
@@ -180,7 +183,7 @@ func (m *Manager) input(t *sim.Task, pkt *mbuf.Mbuf) {
 		pkt.Free()
 		return
 	}
-	t.ChargeBytes(segLen, m.costs.ChecksumPerByte)
+	t.ChargeBytesProf(sim.ProfChecksum, "tcp", segLen, m.costs.ChecksumPerByte)
 	a := view.PseudoHeader(ipv.Src(), ipv.Dst(), view.IPProtoTCP, segLen)
 	if err := ip.ChecksumChain(&a, pkt, hl, segLen); err != nil || a.Fold() != 0 {
 		m.stats.BadChecksum++
@@ -287,9 +290,13 @@ func (m *Manager) sendSegment(t *sim.Task, srcPort uint16, dst view.IP4, dstPort
 	a := view.PseudoHeader(m.ip.Addr(), dst, view.IPProtoTCP, len(buf))
 	a.Add(buf)
 	v.SetChecksum(a.Fold())
-	t.Charge(m.costs.TCPProc)
-	t.ChargeBytes(len(buf), m.costs.ChecksumPerByte)
+	t.ChargeProf(sim.ProfProto, "tcp", m.costs.TCPProc)
+	t.ChargeBytesProf(sim.ProfChecksum, "tcp", len(buf), m.costs.ChecksumPerByte)
 	seg := m.pool.FromBytes(buf, 64)
+	if s := m.sim; s.MetricsEnabled() {
+		seg.Hdr().Span = s.NextSpan()
+		t.Hop(seg.Hdr().Span, "tcp", "send", seg.Hdr().Len)
+	}
 	if err := m.ip.Send(t, view.IP4{}, dst, view.IPProtoTCP, seg); err != nil {
 		m.sim.Tracef(sim.TraceProto, "tcp: segment send failed: %v", err)
 	}

@@ -173,7 +173,10 @@ func (m *Manager) LocalAddr() view.IP4 { return m.ip.Addr() }
 // input validates a UDP datagram and raises UDP.PacketRecv for endpoint
 // guards; datagrams for closed ports trigger port-unreachable.
 func (m *Manager) input(t *sim.Task, pkt *mbuf.Mbuf) {
-	t.Charge(m.costs.UDPProc)
+	t.ChargeProf(sim.ProfProto, "udp", m.costs.UDPProc)
+	if hdr := pkt.Hdr(); hdr != nil {
+		t.Hop(hdr.Span, "udp", "recv", hdr.Len)
+	}
 	m.stats.Received++
 	ipv, err := view.IPv4(pkt.Bytes())
 	if err != nil {
@@ -198,7 +201,7 @@ func (m *Manager) input(t *sim.Task, pkt *mbuf.Mbuf) {
 	// Verify the checksum when the sender computed one (0 = disabled, the
 	// paper's §1.1 application-specific variant).
 	if uv.Checksum() != 0 {
-		t.ChargeBytes(ulen, m.costs.ChecksumPerByte)
+		t.ChargeBytesProf(sim.ProfChecksum, "udp", ulen, m.costs.ChecksumPerByte)
 		a := view.PseudoHeader(ipv.Src(), ipv.Dst(), view.IPProtoUDP, ulen)
 		if err := ip.ChecksumChain(&a, pkt, hl, ulen); err != nil || a.Fold() != 0 {
 			m.stats.BadChecksum++
@@ -355,6 +358,9 @@ func (e *Endpoint) deliver(t *sim.Task, pkt *mbuf.Mbuf) {
 		pkt.Adj(-extra)
 	}
 	pkt.Adj(hl + view.UDPHdrLen)
+	if hdr := pkt.Hdr(); hdr != nil {
+		t.Hop(hdr.Span, "udp", "deliver", hdr.Len)
+	}
 	if e.recv != nil {
 		e.recv(t, pkt, src, srcPort)
 	} else {
@@ -375,7 +381,14 @@ func (e *Endpoint) Send(t *sim.Task, dst view.IP4, dstPort uint16, payload *mbuf
 		payload.Free()
 		return ErrClosed
 	}
-	t.Charge(e.mgr.costs.UDPProc)
+	t.ChargeProf(sim.ProfProto, "udp", e.mgr.costs.UDPProc)
+	// Stamp the lifecycle span at transport entry for locally originated
+	// traffic; it rides the PktHdr through every header operation below.
+	if s := t.Sim(); s.MetricsEnabled() {
+		if hdr := payload.Hdr(); hdr != nil && hdr.Span == 0 {
+			hdr.Span = s.NextSpan()
+		}
+	}
 	seg, err := payload.Prepend(view.UDPHdrLen)
 	if err != nil {
 		payload.Free()
@@ -396,7 +409,7 @@ func (e *Endpoint) Send(t *sim.Task, dst view.IP4, dstPort uint16, payload *mbuf
 	uv.SetLength(seg.PktLen())
 	uv.SetChecksum(0)
 	if !e.opts.DisableChecksum {
-		t.ChargeBytes(seg.PktLen(), e.mgr.costs.ChecksumPerByte)
+		t.ChargeBytesProf(sim.ProfChecksum, "udp", seg.PktLen(), e.mgr.costs.ChecksumPerByte)
 		a := view.PseudoHeader(e.mgr.ip.Addr(), dst, view.IPProtoUDP, seg.PktLen())
 		if err := ip.ChecksumChain(&a, seg, 0, seg.PktLen()); err != nil {
 			seg.Free()
@@ -409,6 +422,9 @@ func (e *Endpoint) Send(t *sim.Task, dst view.IP4, dstPort uint16, payload *mbuf
 		uv.SetChecksum(c)
 	}
 	e.mgr.stats.Sent++
+	if hdr := seg.Hdr(); hdr != nil {
+		t.Hop(hdr.Span, "udp", "send", hdr.Len)
+	}
 	if e.mgr.disp.HandlerCount(SendEvent) > 0 {
 		e.mgr.raise.Raise(t, SendEvent, seg)
 	}
@@ -423,7 +439,12 @@ func (e *Endpoint) SendRaw(t *sim.Task, dst view.IP4, seg *mbuf.Mbuf) error {
 		seg.Free()
 		return ErrClosed
 	}
-	t.Charge(e.mgr.costs.UDPProc)
+	t.ChargeProf(sim.ProfProto, "udp", e.mgr.costs.UDPProc)
+	if s := t.Sim(); s.MetricsEnabled() {
+		if hdr := seg.Hdr(); hdr != nil && hdr.Span == 0 {
+			hdr.Span = s.NextSpan()
+		}
+	}
 	b, err := seg.MutableBytes()
 	if err != nil {
 		seg.Free()
