@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all | fig5 | tput | fig6 | fig7 | http | latency | loss | rogue | ablations")
+	exp := flag.String("exp", "all", "experiment: all | fig5 | tput | fig6 | fig7 | http | latency | loss | rogue | scale | ablations")
 	fast := flag.Bool("fastdriver", false, "use the faster device driver variant (§4.1)")
 	size := flag.Int("size", 1<<20, "bulk transfer size in bytes for -exp tput")
 	parallel := flag.Int("parallel", 0, "experiment cells run concurrently (0 = GOMAXPROCS, 1 = sequential)")
@@ -87,6 +87,7 @@ func main() {
 	run("latency", latency)
 	run("loss", loss)
 	run("rogue", rogue)
+	run("scale", scale)
 	run("ablations", ablations)
 }
 
@@ -258,6 +259,23 @@ func rogue() (any, error) {
 		fmt.Fprintf(w, "%d\t%s\t%s\t%s\t%.1f%%\t%d\t%d\t%d\t%d\n",
 			r.Rogues, r.System, r.Workload, metric, r.DeliveredPct,
 			r.Quarantined, r.Panics+r.GuardPanics, r.Terminations, r.GuardOverruns)
+	}
+	return rows, w.Flush()
+}
+
+func scale() (any, error) {
+	header("Scale: N clients vs one server over the switched fabric")
+	rows, err := bench.Scale(bench.DefaultScaleClients(), bench.DefaultScaleDuration)
+	if err != nil {
+		return nil, err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "clients\tsystem\tworkload\tsegs\tops\tgoodput (Mb/s)\tserver CPU\tp50 (µs)\tp99 (µs)\tretries\tswitch drops\trx errors")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%s\t%s\t%d\t%d\t%.2f\t%.1f%%\t%.0f\t%.0f\t%d\t%d\t%d\n",
+			r.Clients, r.System, r.Workload, r.Segments, r.Ops, r.GoodputMbps,
+			r.ServerCPU*100, r.P50.Micros(), r.P99.Micros(),
+			r.Retries, r.SwitchDrops, r.RxErrors)
 	}
 	return rows, w.Flush()
 }

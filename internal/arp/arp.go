@@ -25,6 +25,10 @@ const (
 	MaxRetries = 3
 	// maxPending bounds packets queued per unresolved address.
 	maxPending = 8
+	// MaxCacheEntries bounds the cache: long runs against many peers must
+	// not grow it without limit. When full, the entry closest to expiry is
+	// evicted to admit the new mapping.
+	MaxCacheEntries = 512
 )
 
 type entry struct {
@@ -94,16 +98,44 @@ func (a *ARP) Stats() Stats { return a.stats }
 // AddStatic installs a permanent mapping (tests and the T3 point-to-point
 // configuration use this).
 func (a *ARP) AddStatic(ip view.IP4, mac view.MAC) {
-	a.cache[ip] = entry{mac: mac, expires: 1<<62 - 1}
+	a.insert(ip, entry{mac: mac, expires: 1<<62 - 1})
 }
 
-// Lookup consults the cache without side effects.
+// Lookup consults the cache. An entry found expired is evicted on the spot:
+// without that, a long run resolving many peers grows the map unboundedly
+// (every expired mapping is dead weight that Lookup must still hash past).
 func (a *ARP) Lookup(ip view.IP4) (view.MAC, bool) {
 	e, ok := a.cache[ip]
-	if !ok || a.sim.Now() > e.expires {
+	if !ok {
+		return view.MAC{}, false
+	}
+	if a.sim.Now() > e.expires {
+		delete(a.cache, ip)
 		return view.MAC{}, false
 	}
 	return e.mac, true
+}
+
+// CacheLen reports live cache entries (including any not yet evicted).
+func (a *ARP) CacheLen() int { return len(a.cache) }
+
+// insert records a mapping, evicting to stay within MaxCacheEntries: first
+// any already-expired entry, otherwise the entry closest to expiry. Static
+// entries (far-future expiry) are the last to go.
+func (a *ARP) insert(ip view.IP4, e entry) {
+	if _, exists := a.cache[ip]; !exists && len(a.cache) >= MaxCacheEntries {
+		// Deterministic victim selection: earliest expiry, ties broken by
+		// address (map iteration order must not leak into simulations).
+		var victim view.IP4
+		var victimExp sim.Time = 1<<63 - 1
+		for k, v := range a.cache {
+			if v.expires < victimExp || (v.expires == victimExp && k.Uint32() < victim.Uint32()) {
+				victim, victimExp = k, v.expires
+			}
+		}
+		delete(a.cache, victim)
+	}
+	a.cache[ip] = e
 }
 
 // Send transmits m (consumed) to the on-link protocol address nextHop with
@@ -203,7 +235,7 @@ func (a *ARP) input(t *sim.Task, m *mbuf.Mbuf) {
 
 // learn records a mapping and flushes any packets waiting on it.
 func (a *ARP) learn(ip view.IP4, mac view.MAC, t *sim.Task) {
-	a.cache[ip] = entry{mac: mac, expires: a.sim.Now() + EntryLifetime}
+	a.insert(ip, entry{mac: mac, expires: a.sim.Now() + EntryLifetime})
 	if r, ok := a.pending[ip]; ok {
 		r.timer.Stop()
 		delete(a.pending, ip)

@@ -179,3 +179,41 @@ func TestMulticastMapping(t *testing.T) {
 		t.Error("multicast triggered an ARP request")
 	}
 }
+
+// An expired entry is physically evicted by the Lookup that discovers it —
+// the map must not accumulate dead mappings across a long run.
+func TestExpiredEntryEvictedFromCache(t *testing.T) {
+	n, a, b := unprimed(t)
+	capp, err := a.OpenUDP(plexus.UDPAppOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.OpenUDP(plexus.UDPAppOptions{Port: 9}, nil); err != nil {
+		t.Fatal(err)
+	}
+	a.Spawn("send", func(task *sim.Task) { _ = capp.Send(task, b.Addr(), 9, []byte("x")) })
+	n.Sim.RunUntil(sim.Second)
+	if a.ARP.CacheLen() != 1 {
+		t.Fatalf("CacheLen = %d, want 1 learned entry", a.ARP.CacheLen())
+	}
+	n.Sim.RunUntil(n.Sim.Now() + arp.EntryLifetime + sim.Second)
+	if _, ok := a.ARP.Lookup(b.Addr()); ok {
+		t.Fatal("mapping survived past its lifetime")
+	}
+	if a.ARP.CacheLen() != 0 {
+		t.Fatalf("CacheLen = %d after expiry lookup, want 0 (entry leaked)", a.ARP.CacheLen())
+	}
+}
+
+// The cache is bounded: inserting past MaxCacheEntries evicts the entry
+// closest to expiry rather than growing without limit.
+func TestCacheSizeBound(t *testing.T) {
+	_, a, _ := unprimed(t)
+	for i := 0; i < arp.MaxCacheEntries+40; i++ {
+		ip := view.IP4{10, 0, byte(1 + i/250), byte(1 + i%250)}
+		a.ARP.AddStatic(ip, view.MAC{2, 0, 0, 0, byte(i >> 8), byte(i)})
+	}
+	if got := a.ARP.CacheLen(); got != arp.MaxCacheEntries {
+		t.Fatalf("CacheLen = %d, want bound %d", got, arp.MaxCacheEntries)
+	}
+}

@@ -1,0 +1,291 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"plexus/internal/httpx"
+	"plexus/internal/netdev"
+	"plexus/internal/plexus"
+	"plexus/internal/sim"
+	"plexus/internal/view"
+)
+
+// This file implements the `-exp scale` experiment: N concurrent clients
+// against one server over the switched fabric, on both measured systems. It
+// is the load test the paper's two-machine numbers cannot answer — where
+// does each structure fall over as the client population grows? Each cell
+// reports goodput, server CPU utilization, p50/p99 operation latency, switch
+// queue drops, and receiver frame errors; client losses are recovered by an
+// application retry timer so drops cost latency rather than truncating the
+// op count. Cells beyond one subnet's worth of clients are split across two
+// switched segments joined by the gateway, so the biggest points also
+// exercise the forwarding plane.
+
+// Scale-experiment parameters.
+const (
+	// DefaultScaleDuration is the per-cell simulated run length.
+	DefaultScaleDuration = 300 * sim.Millisecond
+	// scaleEchoPayload is the UDP echo message size.
+	scaleEchoPayload = 32
+	// scaleRetryAfter rearms a client whose echo was tail-dropped.
+	scaleRetryAfter = 25 * sim.Millisecond
+	// scaleHTTPBody is the HTTP response body size.
+	scaleHTTPBody = 1024
+	// scaleSegmentClients caps clients per subnet (a /24 minus the server,
+	// the gateway, and headroom); larger populations split across two
+	// switched segments joined by the gateway.
+	scaleSegmentClients = 200
+)
+
+// Workloads of the scale sweep.
+const (
+	WorkloadUDPEcho = "udp-echo"
+	WorkloadHTTPGet = "http-get"
+)
+
+// DefaultScaleClients is the client-count sweep of `-exp scale`.
+func DefaultScaleClients() []int { return []int{1, 4, 16, 64, 256} }
+
+// ScaleRow is one cell of the `-exp scale` sweep.
+type ScaleRow struct {
+	Clients  int    `json:"clients"`
+	System   System `json:"system"`
+	Workload string `json:"workload"`
+	// Segments is the number of subnets the clients were spread over.
+	Segments int `json:"segments"`
+	// Ops counts completed operations (echo round trips, or HTTP responses).
+	Ops uint64 `json:"ops"`
+	// GoodputMbps is application payload delivered to clients per second.
+	GoodputMbps float64 `json:"goodput_mbps"`
+	// ServerCPU is the server's CPU utilization over the run.
+	ServerCPU float64  `json:"server_cpu"`
+	P50       sim.Time `json:"p50_ns"`
+	P99       sim.Time `json:"p99_ns"`
+	// Retries counts client retry-timer firings (lost or late operations).
+	Retries uint64 `json:"retries"`
+	// SwitchDrops sums output-queue tail drops across the fabric.
+	SwitchDrops uint64 `json:"switch_drops"`
+	// RxErrors counts malformed frames at the server NIC.
+	RxErrors uint64 `json:"rx_errors"`
+}
+
+// Scale runs the sweep: every client count × workload × system, each cell on
+// its own seeded simulator. Rows are byte-identical at any parallelism.
+func Scale(clientCounts []int, duration sim.Time) ([]ScaleRow, error) {
+	type cell struct {
+		clients  int
+		workload string
+		sys      System
+	}
+	var cells []cell
+	for _, n := range clientCounts {
+		for _, wl := range []string{WorkloadUDPEcho, WorkloadHTTPGet} {
+			for _, sys := range []System{SysPlexusInterrupt, SysDUX} {
+				cells = append(cells, cell{clients: n, workload: wl, sys: sys})
+			}
+		}
+	}
+	return RunCells(cells, func(c cell) (ScaleRow, error) {
+		row, err := scaleCell(c.sys, c.workload, c.clients, duration)
+		if err != nil {
+			return ScaleRow{}, fmt.Errorf("scale %s/%s/%d: %w", c.sys, c.workload, c.clients, err)
+		}
+		return row, nil
+	})
+}
+
+// scaleTopology builds the cell's fabric: the server plus clients on one
+// switched segment, or — past one subnet's worth — split over two switched
+// segments joined by the gateway. Returns the server and the client stacks.
+func scaleTopology(sys System, clients int) (*plexus.Topology, *plexus.Stack, []*plexus.Stack, error) {
+	clientSpec := func(i int) plexus.HostSpec {
+		return hostSpec(fmt.Sprintf("c%03d", i), SysPlexusInterrupt)
+	}
+	segs := []plexus.SegmentSpec{{
+		Name: "lan0", Model: netdev.EthernetModel(), Switched: true,
+		Subnet: view.IP4{10, 0, 1, 0},
+		Hosts:  []plexus.HostSpec{hostSpec("server", sys)},
+	}}
+	var gw *plexus.HostSpec
+	near := clients
+	if clients > scaleSegmentClients {
+		near = clients / 2
+		g := hostSpec("gw", SysPlexusInterrupt)
+		gw = &g
+		segs = append(segs, plexus.SegmentSpec{
+			Name: "lan1", Model: netdev.EthernetModel(), Switched: true,
+			Subnet: view.IP4{10, 0, 2, 0},
+		})
+	}
+	for i := 0; i < clients; i++ {
+		seg := 0
+		if i >= near {
+			seg = 1
+		}
+		segs[seg].Hosts = append(segs[seg].Hosts, clientSpec(i))
+	}
+	top, err := plexus.NewTopology(1, gw, segs)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	top.PrimeARP()
+	server := top.Segments[0].Hosts[0]
+	var cs []*plexus.Stack
+	for si, seg := range top.Segments {
+		hosts := seg.Hosts
+		if si == 0 {
+			hosts = hosts[1:] // skip the server
+		}
+		cs = append(cs, hosts...)
+	}
+	return top, server, cs, nil
+}
+
+// echoClient is one closed-loop UDP echo client with loss recovery: a reply
+// matching the outstanding sequence number completes the op and sends the
+// next; a retry timer re-sends the same op (keeping its original start time,
+// so recovered losses land in the tail percentiles, not off the books).
+type echoClient struct {
+	st       *plexus.Stack
+	app      *plexus.UDPApp
+	server   view.IP4
+	duration sim.Time
+
+	seq    uint64
+	sentAt sim.Time
+	timer  sim.Timer
+	msg    []byte
+
+	ops     uint64
+	retries uint64
+	bytes   uint64
+	rtts    []sim.Time
+}
+
+func (c *echoClient) send(t *sim.Task) {
+	if t.Now() >= c.duration {
+		return
+	}
+	c.seq++
+	binary.BigEndian.PutUint64(c.msg, c.seq)
+	c.sentAt = t.Now()
+	c.transmit(t)
+}
+
+func (c *echoClient) transmit(t *sim.Task) {
+	_ = c.app.Send(t, c.server, 7, c.msg)
+	seq := c.seq
+	c.timer = c.st.Host.Sim.After(scaleRetryAfter, "echo-retry", func() {
+		if c.seq != seq || c.st.Host.Sim.Now() >= c.duration {
+			return
+		}
+		c.retries++
+		c.st.Spawn("echo-retry", c.transmit)
+	})
+}
+
+func (c *echoClient) onReply(t *sim.Task, data []byte) {
+	t.Charge(c.st.Host.Costs.AppHandler)
+	if len(data) < 8 || binary.BigEndian.Uint64(data) != c.seq {
+		return // stale duplicate from a retry race
+	}
+	c.timer.Stop()
+	c.rtts = append(c.rtts, t.Now()-c.sentAt)
+	c.ops++
+	c.bytes += uint64(len(data))
+	c.send(t)
+}
+
+// scaleCell runs one (system, workload, clients) configuration.
+func scaleCell(sys System, workload string, clients int, duration sim.Time) (ScaleRow, error) {
+	top, server, cs, err := scaleTopology(sys, clients)
+	if err != nil {
+		return ScaleRow{}, err
+	}
+	defer recordEvents(top.Sim)
+	row := ScaleRow{Clients: clients, System: sys, Workload: workload, Segments: len(top.Segments)}
+
+	var ecs []*echoClient
+	switch workload {
+	case WorkloadUDPEcho:
+		var echo *plexus.UDPApp
+		echo, err = server.OpenUDP(plexus.UDPAppOptions{Port: 7}, func(t *sim.Task, data []byte, src view.IP4, srcPort uint16) {
+			t.Charge(server.Host.Costs.AppHandler)
+			_ = echo.Send(t, src, srcPort, data)
+		})
+		if err != nil {
+			return ScaleRow{}, err
+		}
+		for _, cl := range cs {
+			ec := &echoClient{st: cl, server: server.Addr(), duration: duration,
+				msg: make([]byte, scaleEchoPayload)}
+			ec.app, err = cl.OpenUDP(plexus.UDPAppOptions{}, func(t *sim.Task, data []byte, src view.IP4, srcPort uint16) {
+				ec.onReply(t, data)
+			})
+			if err != nil {
+				return ScaleRow{}, err
+			}
+			ecs = append(ecs, ec)
+			cl.Spawn("echo-start", ec.send)
+		}
+	case WorkloadHTTPGet:
+		if _, err = httpx.Serve(server, 80, func(t *sim.Task, req *httpx.Request) httpx.Response {
+			return httpx.Response{Status: 200, Body: make([]byte, scaleHTTPBody)}
+		}); err != nil {
+			return ScaleRow{}, err
+		}
+		for _, cl := range cs {
+			ec := &echoClient{st: cl, server: server.Addr(), duration: duration}
+			var issue func(t *sim.Task)
+			issue = func(t *sim.Task) {
+				if t.Now() >= duration {
+					return
+				}
+				started := t.Now()
+				err := httpx.Get(t, cl, server.Addr(), 80, "/", func(t2 *sim.Task, r httpx.Result, err error) {
+					if err == nil && r.Status == 200 {
+						ec.rtts = append(ec.rtts, t2.Now()-started)
+						ec.ops++
+						ec.bytes += uint64(len(r.Body))
+					} else {
+						ec.retries++
+					}
+					issue(t2)
+				})
+				if err != nil {
+					ec.retries++
+				}
+			}
+			ecs = append(ecs, ec)
+			cl.Spawn("http-start", issue)
+		}
+	default:
+		return ScaleRow{}, fmt.Errorf("unknown workload %q", workload)
+	}
+
+	server.Host.CPU.MarkUtilization()
+	top.Sim.RunUntil(duration)
+
+	var rtts []sim.Time
+	for _, ec := range ecs {
+		row.Ops += ec.ops
+		row.Retries += ec.retries
+		row.GoodputMbps += float64(ec.bytes)
+		rtts = append(rtts, ec.rtts...)
+	}
+	row.GoodputMbps = row.GoodputMbps * 8 / duration.Seconds() / 1e6
+	row.ServerCPU = server.Host.CPU.Utilization()
+	s := summarize(rtts)
+	row.P50, row.P99 = s.P50, s.P99
+	for _, seg := range top.Segments {
+		if seg.Switch != nil {
+			row.SwitchDrops += seg.Switch.QueueDrops()
+		}
+	}
+	row.RxErrors = server.NIC.Stats().RxErrors
+	if row.Ops == 0 {
+		return ScaleRow{}, fmt.Errorf("no operations completed")
+	}
+	return row, nil
+}

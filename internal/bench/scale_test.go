@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"plexus/internal/sim"
+)
+
+// A short sweep produces sane rows: every cell completes operations, CPU
+// utilization is a fraction, and latency percentiles are ordered.
+func TestScaleSmoke(t *testing.T) {
+	rows, err := Scale([]int{1, 4}, 50*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 { // 2 counts × 2 workloads × 2 systems
+		t.Fatalf("got %d rows, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if r.Ops == 0 {
+			t.Errorf("%s/%s/%d: zero ops", r.System, r.Workload, r.Clients)
+		}
+		if r.ServerCPU <= 0 || r.ServerCPU > 1 {
+			t.Errorf("%s/%s/%d: server CPU %.3f out of range", r.System, r.Workload, r.Clients, r.ServerCPU)
+		}
+		if r.P99 < r.P50 {
+			t.Errorf("%s/%s/%d: p99 %v < p50 %v", r.System, r.Workload, r.Clients, r.P99, r.P50)
+		}
+		if r.GoodputMbps <= 0 {
+			t.Errorf("%s/%s/%d: goodput %.3f", r.System, r.Workload, r.Clients, r.GoodputMbps)
+		}
+	}
+}
+
+// Rows are byte-identical whatever the worker-pool width: each cell owns its
+// seeded simulator, so parallelism must never change a reported number.
+func TestScaleDeterministicAcrossParallelism(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(1)
+	seq, err := Scale([]int{4}, 50*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetParallelism(4)
+	par, err := Scale([]int{4}, 50*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("rows differ across parallelism:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+// The big cell splits across two switched segments joined by the gateway and
+// still completes work; drops show up in the switch counters, not as lost
+// accounting.
+func TestScaleMultiSegment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-client cell")
+	}
+	row, err := scaleCell(SysPlexusInterrupt, WorkloadUDPEcho, 256, 50*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Segments != 2 {
+		t.Fatalf("Segments = %d, want 2", row.Segments)
+	}
+	if row.Ops == 0 {
+		t.Fatal("no operations completed at 256 clients")
+	}
+}

@@ -79,6 +79,11 @@ type Layer struct {
 	// VerifyRxChecksum controls software verification of the header
 	// checksum on receive (on by default; an ablation disables it).
 	VerifyRxChecksum bool
+
+	// forwardFn, when set, is offered datagrams addressed to other hosts
+	// before they are dropped as NotForUs. Returning true consumes the
+	// packet; returning false lets the normal drop accounting proceed.
+	forwardFn func(t *sim.Task, m *mbuf.Mbuf) bool
 }
 
 // Config wires a Layer.
@@ -157,6 +162,17 @@ func ChecksumChain(a *view.Accum, m *mbuf.Mbuf, off, n int) error {
 	}
 	return nil
 }
+
+// SetForwardFn installs the host-forwarding hook: datagrams that arrive for
+// another host are handed to fn instead of being dropped. A gateway host uses
+// this to splice its interfaces together; fn receives the full datagram
+// (header at offset 0, read-only) and reports whether it consumed it.
+func (l *Layer) SetForwardFn(fn func(t *sim.Task, m *mbuf.Mbuf) bool) {
+	l.forwardFn = fn
+}
+
+// OnLink reports whether dst is directly reachable through this interface.
+func (l *Layer) OnLink(dst view.IP4) bool { return l.onLink(dst) }
 
 // onLink reports whether dst is directly reachable.
 func (l *Layer) onLink(dst view.IP4) bool {
@@ -333,6 +349,9 @@ func (l *Layer) input(t *sim.Task, m *mbuf.Mbuf) {
 	}
 	dst := v.Dst()
 	if dst != l.addr && !dst.IsBroadcast() && !dst.IsMulticast() {
+		if l.forwardFn != nil && l.forwardFn(t, m) {
+			return
+		}
 		l.stats.NotForUs++
 		m.Free()
 		return

@@ -107,14 +107,25 @@ func (m Model) serialization(n int) sim.Time {
 	return sim.Time(int64(n) * 8 * int64(sim.Second) / m.BitsPerSec)
 }
 
-// Link is a broadcast medium joining NICs: the private Ethernet segment, the
-// path through the ForeRunner switch, or the back-to-back T3 cable. The wire
-// is a serial resource — a frame transmits only when the previous one has
-// left the wire.
+// attachment is anything a Link can deliver wire frames to: a host NIC or a
+// switch port. deliverAt is called synchronously by the transmitter with the
+// (possibly future) arrival instant of the frame's last bit; the attachment
+// takes its own frame reference if it keeps the snapshot.
+type attachment interface {
+	deliverAt(at sim.Time, f *frame)
+}
+
+// Link is one collision/delivery domain: a shared broadcast segment (the
+// paper's private Ethernet), a back-to-back cable, or — in switched
+// topologies — the cable joining one host to one switch port. The
+// NIC-transmit direction is a serial resource: a frame transmits only when
+// the previous NIC frame has left the wire. A switch port transmitting back
+// down the same cable keeps its own transmitter state (see Port), so a
+// host↔switch cable is full-duplex.
 type Link struct {
 	sim       *sim.Sim
 	name      string
-	nics      []*NIC
+	atts      []attachment
 	busyUntil sim.Time
 	frames    uint64
 	bytes     uint64
@@ -143,10 +154,13 @@ type Link struct {
 }
 
 // frame is one reference-counted wire snapshot: the transmitter fills it, each
-// accepting receiver holds a reference, and the last release recycles it.
+// accepting receiver holds a reference, and the last release recycles it onto
+// the originating link's free list. The owner pointer matters in switched
+// topologies, where a frame crosses several links before its last release.
 type frame struct {
-	buf  []byte
-	refs int
+	buf   []byte
+	refs  int
+	owner *Link
 	// span carries the packet-lifecycle trace ID across the wire: the real
 	// frame bytes have no room for it, but the wire snapshot is simulator
 	// state, so the receiver can re-stamp its private copy with the
@@ -169,16 +183,19 @@ func (l *Link) getFrame(size int) *frame {
 	}
 	f.buf = f.buf[:size]
 	f.refs = 1
+	f.owner = l
 	l.liveFrames++
 	return f
 }
 
-// putFrame drops one reference, recycling the frame when the last is gone.
-func (l *Link) putFrame(f *frame) {
+// releaseFrame drops one reference, recycling the frame onto its owning
+// link's free list when the last reference is gone.
+func releaseFrame(f *frame) {
 	f.refs--
 	if f.refs > 0 {
 		return
 	}
+	l := f.owner
 	l.liveFrames--
 	f.next = l.freeFrames
 	l.freeFrames = f
@@ -241,7 +258,8 @@ type NICStats struct {
 	TxDrops    uint64 // transmit-queue overflows
 	RxFrames   uint64
 	RxBytes    uint64
-	RxFiltered uint64 // frames dropped by MAC address filter
+	RxFiltered uint64 // well-formed frames dropped by the MAC address filter
+	RxErrors   uint64 // malformed frames (truncated Ethernet header)
 }
 
 // NIC is one network interface on a host.
@@ -303,7 +321,7 @@ func NewNIC(s *sim.Sim, name string, model Model, link *Link, cfg Config) *NIC {
 		promisc:   cfg.Promiscuous,
 	}
 	n.rxLabel = "rx:" + name
-	link.nics = append(link.nics, n)
+	link.atts = append(link.atts, n)
 	return n
 }
 
@@ -375,7 +393,8 @@ func (n *NIC) Transmit(t *sim.Task, m *mbuf.Mbuf) error {
 	if n.link.busyUntil > start {
 		start = n.link.busyUntil
 	}
-	depart := start + n.model.serialization(size)
+	ser := n.model.serialization(size)
+	depart := start + ser
 	n.link.busyUntil = depart
 	arrival := depart + n.model.PropDelay
 	n.link.frames++
@@ -393,7 +412,7 @@ func (n *NIC) Transmit(t *sim.Task, m *mbuf.Mbuf) error {
 	err := m.CopyTo(0, f.buf)
 	m.Free()
 	if err != nil {
-		n.link.putFrame(f)
+		releaseFrame(f)
 		return err
 	}
 	if n.link.mangleFn != nil {
@@ -402,7 +421,7 @@ func (n *NIC) Transmit(t *sim.Task, m *mbuf.Mbuf) error {
 	if n.link.dropFn != nil && n.link.dropFn(f.buf) {
 		n.link.dropped++
 		t.Hop(span, "wire", "drop-loss", size)
-		n.link.putFrame(f)
+		releaseFrame(f)
 		if n.sim.TraceEnabled() {
 			n.sim.Tracef(sim.TraceNet, "%s: frame dropped by loss injector", n.name)
 		}
@@ -415,16 +434,19 @@ func (n *NIC) Transmit(t *sim.Task, m *mbuf.Mbuf) error {
 	if dup {
 		n.link.duplicated++
 	}
-	for _, dst := range n.link.nics {
-		if dst == n {
+	for _, dst := range n.link.atts {
+		if dst == attachment(n) {
 			continue
 		}
 		dst.deliverAt(arrival, f)
 		if dup {
-			dst.deliverAt(arrival, f)
+			// The replay occupies the wire for its own serialization time,
+			// so a duplicate can never beat its original through a FIFO
+			// queue — two frames cannot end at the same instant.
+			dst.deliverAt(arrival+ser, f)
 		}
 	}
-	n.link.putFrame(f) // drop the creator's reference
+	releaseFrame(f) // drop the creator's reference
 	return nil
 }
 
@@ -433,13 +455,15 @@ func (n *NIC) Transmit(t *sim.Task, m *mbuf.Mbuf) error {
 // receiving CPU and are raised into the protocol graph. The frame reference
 // is taken synchronously; the pooled rx job releases it after copying.
 func (n *NIC) deliverAt(at sim.Time, f *frame) {
+	// Frames too short to carry an Ethernet header are frame errors, not
+	// filter drops — the distinction matters when triaging loss.
+	eth, err := view.Ethernet(f.buf)
+	if err != nil {
+		n.stats.RxErrors++
+		return
+	}
 	// MAC destination filter (unless promiscuous).
 	if !n.promisc {
-		eth, err := view.Ethernet(f.buf)
-		if err != nil {
-			n.stats.RxFiltered++
-			return
-		}
 		dst := eth.Dst()
 		if dst != n.mac && !dst.IsBroadcast() && !dst.IsMulticast() {
 			n.stats.RxFiltered++
@@ -474,7 +498,7 @@ func nicRx(t *sim.Task, a any) {
 	n.stats.RxFrames++
 	n.stats.RxBytes += uint64(len(wire))
 	m.Hdr().Span = f.span // sender's lifecycle span survives the wire
-	n.link.putFrame(f)    // the packet owns a private copy now
+	releaseFrame(f)       // the packet owns a private copy now
 	m.Hdr().RcvIf = n.name
 	m.Hdr().Timestamp = int64(t.Now())
 	t.Hop(m.Hdr().Span, "wire", "rx", len(wire))

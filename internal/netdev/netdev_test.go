@@ -20,8 +20,9 @@ type rig struct {
 	dispB *event.Dispatcher
 	poolA *mbuf.Pool
 	poolB *mbuf.Pool
-	// rxB collects frames B's handler received.
-	rxB [][]byte
+	// rxB collects frames B's handler received; rxAtB their arrival times.
+	rxB   [][]byte
+	rxAtB []sim.Time
 }
 
 const testRecvEvent event.Name = "Test.PacketRecv"
@@ -53,6 +54,7 @@ func newRig(t *testing.T, model Model, promiscB bool) *rig {
 	if _, err := r.dispB.Install(testRecvEvent, nil, event.Proc("sink", func(task *sim.Task, m *mbuf.Mbuf) {
 		data, _ := m.CopyData(0, m.PktLen())
 		r.rxB = append(r.rxB, data)
+		r.rxAtB = append(r.rxAtB, task.Now())
 		m.Free()
 	}), 0); err != nil {
 		t.Fatal(err)
@@ -262,6 +264,44 @@ func TestDuplicationHook(t *testing.T) {
 	}
 	if r.link.Duplicated() != 1 {
 		t.Errorf("Duplicated = %d", r.link.Duplicated())
+	}
+}
+
+// A replayed frame serializes after its original: the duplicate can never
+// arrive at — let alone before — the original's instant, so FIFO queues
+// downstream always see original first.
+func TestDuplicateArrivesAfterOriginal(t *testing.T) {
+	model := EthernetModel()
+	r := newRig(t, model, false)
+	r.link.SetDupFn(func(wire []byte) bool { return true })
+	r.send(t, r.frameTo(r.b.MAC(), 100))
+	r.sim.Run()
+	if len(r.rxAtB) != 2 {
+		t.Fatalf("received %d frames, want original + duplicate", len(r.rxAtB))
+	}
+	gap := r.rxAtB[1] - r.rxAtB[0]
+	if gap < model.serialization(114) {
+		t.Fatalf("duplicate arrived %v after original, want ≥ one serialization (%v)",
+			gap, model.serialization(114))
+	}
+}
+
+// Malformed frames are frame errors, not MAC-filter drops.
+func TestMalformedFrameCountsRxErrors(t *testing.T) {
+	r := newRig(t, EthernetModel(), false)
+	short := r.poolA.FromBytes(make([]byte, 8), 0) // too short for an Ethernet header
+	r.send(t, short)
+	r.send(t, r.frameTo(view.MAC{2, 0, 0, 0, 0, 99}, 100)) // foreign but well-formed
+	r.sim.Run()
+	st := r.b.Stats()
+	if st.RxErrors != 1 {
+		t.Errorf("RxErrors = %d, want 1", st.RxErrors)
+	}
+	if st.RxFiltered != 1 {
+		t.Errorf("RxFiltered = %d, want 1 (malformed frames must not count here)", st.RxFiltered)
+	}
+	if len(r.rxB) != 0 {
+		t.Errorf("%d frames delivered, want 0", len(r.rxB))
 	}
 }
 

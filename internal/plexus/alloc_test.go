@@ -57,3 +57,55 @@ func TestUDPEchoSteadyStateAllocs(t *testing.T) {
 		t.Fatalf("steady-state UDP echo round allocates %.2f/iter, want 0", avg)
 	}
 }
+
+// TestUDPEchoSteadyStateAllocsThroughSwitch pins the same property across the
+// switched fabric: the per-frame switch path (ingress jobs, MAC lookup, the
+// departure ring) must add nothing to the allocation budget.
+func TestUDPEchoSteadyStateAllocsThroughSwitch(t *testing.T) {
+	top, err := NewTopology(1, nil, []SegmentSpec{
+		{Name: "lan", Model: netdev.EthernetModel(), Subnet: view.IP4{10, 0, 0, 0}, Switched: true,
+			Hosts: []HostSpec{
+				{Name: "client", Personality: osmodel.SPIN, Dispatch: osmodel.DispatchInterrupt},
+				{Name: "server", Personality: osmodel.SPIN, Dispatch: osmodel.DispatchInterrupt},
+			}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top.PrimeARP()
+	client, server := top.Host("client"), top.Host("server")
+
+	var echo *UDPApp
+	echo, err = server.OpenUDP(UDPAppOptions{Port: 7}, func(tk *sim.Task, data []byte, src view.IP4, srcPort uint16) {
+		_ = echo.Send(tk, src, srcPort, data)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]byte, 8)
+	rounds := 0
+	var capp *UDPApp
+	capp, err = client.OpenUDP(UDPAppOptions{}, func(tk *sim.Task, data []byte, src view.IP4, srcPort uint16) {
+		rounds++
+		_ = capp.Send(tk, server.Addr(), 7, msg)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.Spawn("kick", func(tk *sim.Task) { _ = capp.Send(tk, server.Addr(), 7, msg) })
+
+	runRounds := func(k int) {
+		target := rounds + k
+		for rounds < target {
+			if !top.Sim.Step() {
+				t.Fatal("simulation drained before completing echo rounds")
+			}
+		}
+	}
+	runRounds(64)
+
+	avg := testing.AllocsPerRun(100, func() { runRounds(1) })
+	if avg != 0 {
+		t.Fatalf("steady-state switched UDP echo round allocates %.2f/iter, want 0", avg)
+	}
+}

@@ -44,6 +44,10 @@ type StackConfig struct {
 	Costs *osmodel.Costs
 	// Pool overrides the host's mbuf pool (nil = a fresh per-host pool).
 	Pool *mbuf.Pool
+	// CPU overrides the host's processor (nil = a fresh per-host CPU). A
+	// multi-homed gateway runs all of its interface stacks on one CPU so
+	// that forwarding between subnets contends for a single processor.
+	CPU *sim.CPU
 	// Quarantine configures the dispatcher's fault-ejection policy for
 	// misbehaving handlers (zero value = disabled; faults are still
 	// counted in BindingStats).
@@ -117,6 +121,9 @@ func NewStack(s *sim.Sim, name string, cfg StackConfig) (*Stack, error) {
 	host := osmodel.NewHost(s, name, cfg.Personality, costs)
 	if cfg.Pool != nil {
 		host.Pool = cfg.Pool
+	}
+	if cfg.CPU != nil {
+		host.CPU = cfg.CPU
 	}
 	host.Disp.SetQuarantine(cfg.Quarantine)
 	raiser := &modeRaiser{host: host, mode: cfg.Dispatch}

@@ -1,0 +1,259 @@
+// Multi-segment topologies: several subnets — each a shared bus or a
+// switched star — joined by a gateway host that runs the in-kernel IP
+// forwarding path on one shared CPU. This is the fabric the scale
+// experiments run on: NewNetwork's single shared link models the paper's
+// two-machine testbeds, NewTopology models the machine room around them.
+package plexus
+
+import (
+	"fmt"
+
+	"plexus/internal/mbuf"
+	"plexus/internal/netdev"
+	"plexus/internal/sim"
+	"plexus/internal/view"
+)
+
+// gatewayHostByte is the last address byte reserved for the gateway's
+// interface on every subnet.
+const gatewayHostByte = 254
+
+// SegmentSpec describes one subnet of a topology.
+type SegmentSpec struct {
+	Name  string
+	Model netdev.Model
+	// Switched selects a switched star (one cable per host into a
+	// netdev.Switch) instead of a shared broadcast bus.
+	Switched bool
+	// Switch tunes the fabric when Switched (zero fields take defaults).
+	Switch netdev.SwitchConfig
+	// Subnet is the /24 prefix, e.g. {10,0,1,0}. Hosts are numbered from
+	// .1; the gateway interface is .254.
+	Subnet view.IP4
+	Hosts  []HostSpec
+}
+
+// Segment is one built subnet.
+type Segment struct {
+	Name   string
+	Subnet view.IP4
+	// Link is the shared bus (nil when the segment is switched).
+	Link *netdev.Link
+	// Switch is the fabric (nil when the segment is a shared bus).
+	Switch *netdev.Switch
+	// Cables are the per-host cables of a switched segment, index-aligned
+	// with Hosts; the gateway's cable (if any) is last.
+	Cables []*netdev.Link
+	Hosts  []*Stack
+	// GW is the gateway's interface stack on this segment (nil for a
+	// single-segment topology).
+	GW *Stack
+}
+
+// GatewayStats counts forwarding-plane activity.
+type GatewayStats struct {
+	Forwarded  uint64
+	TTLExpired uint64
+	NoRoute    uint64
+	Drops      uint64 // copy or transmit failures
+}
+
+// Gateway is the multi-homed forwarding host: one interface stack per
+// segment, all sharing a single CPU, spliced together through the IP
+// layer's forwarding hook.
+type Gateway struct {
+	CPU    *sim.CPU
+	Ifaces []*Stack
+	stats  GatewayStats
+}
+
+// Stats returns a snapshot of forwarding counters.
+func (g *Gateway) Stats() GatewayStats { return g.stats }
+
+// Topology is a set of segments joined by a gateway.
+type Topology struct {
+	Sim      *sim.Sim
+	Segments []*Segment
+	// Gateway is nil for a single-segment topology.
+	Gateway *Gateway
+}
+
+// NewTopology builds the segments on a fresh simulator. With more than one
+// segment, gw describes the gateway host joining them (its interface on
+// each subnet takes address .254, and every host's default route points at
+// it); with exactly one segment gw may be nil and no gateway is built.
+func NewTopology(seed int64, gw *HostSpec, segs []SegmentSpec) (*Topology, error) {
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("plexus: topology needs at least one segment")
+	}
+	if len(segs) > 1 && gw == nil {
+		return nil, fmt.Errorf("plexus: multi-segment topology needs a gateway spec")
+	}
+	s := sim.New(seed)
+	top := &Topology{Sim: s}
+	if len(segs) > 1 {
+		top.Gateway = &Gateway{CPU: sim.NewCPU(s, gw.Name)}
+	}
+	for si, spec := range segs {
+		if len(spec.Hosts) > gatewayHostByte-1 {
+			return nil, fmt.Errorf("plexus: segment %s: %d hosts exceed a /24", spec.Name, len(spec.Hosts))
+		}
+		seg := &Segment{Name: spec.Name, Subnet: spec.Subnet}
+		var sharedBus *netdev.Link
+		if spec.Switched {
+			seg.Switch = netdev.NewSwitch(s, spec.Name+"/sw", spec.Model, spec.Switch)
+		} else {
+			sharedBus = netdev.NewLink(s, spec.Name+"/"+spec.Model.Name)
+			seg.Link = sharedBus
+		}
+		attach := func() *netdev.Link {
+			if !spec.Switched {
+				return sharedBus
+			}
+			cable := netdev.NewLink(s, spec.Name+"/cable")
+			seg.Switch.AttachLink(cable)
+			seg.Cables = append(seg.Cables, cable)
+			return cable
+		}
+		addr := func(host byte) view.IP4 {
+			return view.IP4{spec.Subnet[0], spec.Subnet[1], spec.Subnet[2], host}
+		}
+		var gwAddr view.IP4
+		if top.Gateway != nil {
+			gwAddr = addr(gatewayHostByte)
+		}
+		for i, hs := range spec.Hosts {
+			idx := byte(i + 1)
+			st, err := NewStack(s, hs.Name, StackConfig{
+				Personality: hs.Personality,
+				Dispatch:    hs.Dispatch,
+				Model:       spec.Model,
+				Link:        attach(),
+				MAC:         view.MAC{0x02, 0x00, 0x00, 0x00, byte(si + 1), idx},
+				Addr:        addr(idx),
+				Mask:        view.IP4{255, 255, 255, 0},
+				Gateway:     gwAddr,
+				Costs:       hs.Costs,
+				Pool:        hs.Pool,
+				Quarantine:  hs.Quarantine,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("plexus: host %s: %w", hs.Name, err)
+			}
+			seg.Hosts = append(seg.Hosts, st)
+		}
+		if top.Gateway != nil {
+			st, err := NewStack(s, gw.Name+"/"+spec.Name, StackConfig{
+				Personality: gw.Personality,
+				Dispatch:    gw.Dispatch,
+				Model:       spec.Model,
+				Link:        attach(),
+				MAC:         view.MAC{0x02, 0x00, 0x00, 0x00, byte(si + 1), gatewayHostByte},
+				Addr:        gwAddr,
+				Mask:        view.IP4{255, 255, 255, 0},
+				Costs:       gw.Costs,
+				CPU:         top.Gateway.CPU,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("plexus: gateway on %s: %w", spec.Name, err)
+			}
+			seg.GW = st
+			top.Gateway.Ifaces = append(top.Gateway.Ifaces, st)
+		}
+		top.Segments = append(top.Segments, seg)
+	}
+	if top.Gateway != nil {
+		for _, iface := range top.Gateway.Ifaces {
+			iface.IP.SetForwardFn(top.Gateway.forwardFrom(iface))
+		}
+	}
+	return top, nil
+}
+
+// Host returns the host with the given name from any segment, or nil.
+func (top *Topology) Host(name string) *Stack {
+	for _, seg := range top.Segments {
+		for _, h := range seg.Hosts {
+			if h.Name() == name {
+				return h
+			}
+		}
+	}
+	return nil
+}
+
+// PrimeARP installs static ARP entries per subnet — all host pairs plus the
+// gateway interface — so experiments measure the steady-state path.
+func (top *Topology) PrimeARP() {
+	for _, seg := range top.Segments {
+		members := seg.Hosts
+		if seg.GW != nil {
+			members = append(append([]*Stack{}, seg.Hosts...), seg.GW)
+		}
+		for _, a := range members {
+			for _, b := range members {
+				if a != b {
+					a.ARP.AddStatic(b.Addr(), b.NIC.MAC())
+				}
+			}
+		}
+	}
+}
+
+// forwardFrom builds the ingress interface's forwarding hook: datagrams for
+// other subnets are TTL-decremented on a private copy and re-emitted out the
+// owning interface, all on the gateway's one shared CPU — exactly the
+// in-kernel redirection path of §5, applied host-wide.
+func (g *Gateway) forwardFrom(ingress *Stack) func(t *sim.Task, m *mbuf.Mbuf) bool {
+	return func(t *sim.Task, m *mbuf.Mbuf) bool {
+		v, err := view.IPv4(m.Bytes())
+		if err != nil {
+			return false
+		}
+		dst := v.Dst()
+		var egress *Stack
+		for _, iface := range g.Ifaces {
+			if iface != ingress && iface.IP.OnLink(dst) {
+				egress = iface
+				break
+			}
+		}
+		if egress == nil {
+			g.stats.NoRoute++
+			return false
+		}
+		if v.TTL() <= 1 {
+			g.stats.TTLExpired++
+			m.Free()
+			return true
+		}
+		// The received chain is read-only (§3.4): rewrite on a copy.
+		out, err := m.DeepCopy()
+		if err != nil {
+			g.stats.Drops++
+			m.Free()
+			return true
+		}
+		m.Free()
+		b, err := out.MutableBytes()
+		if err != nil {
+			g.stats.Drops++
+			out.Free()
+			return true
+		}
+		ov, err := view.IPv4(b)
+		if err != nil {
+			g.stats.Drops++
+			out.Free()
+			return true
+		}
+		ov.SetTTL(ov.TTL() - 1)
+		ov.ComputeChecksum()
+		if err := egress.IP.Forward(t, out); err != nil {
+			g.stats.Drops++
+			return true
+		}
+		g.stats.Forwarded++
+		return true
+	}
+}
