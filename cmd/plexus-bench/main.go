@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -34,10 +36,18 @@ func main() {
 	fast := flag.Bool("fastdriver", false, "use the faster device driver variant (§4.1)")
 	size := flag.Int("size", 1<<20, "bulk transfer size in bytes for -exp tput")
 	parallel := flag.Int("parallel", 0, "experiment cells run concurrently (0 = GOMAXPROCS, 1 = sequential)")
+	shards := flag.Int("shards", 1, "shard worker goroutines per sharded scale cell (rows identical at any value)")
+	hosts := flag.String("hosts", "1000,10000,50000", "comma-separated host counts for the sharded scale cells (\"\" = none)")
 	jsonOut := flag.Bool("json", false, "write BENCH_<exp>.json with rows, wall-clock, events/sec, allocs/event")
 	flag.Parse()
 
 	bench.SetParallelism(*parallel)
+	bench.SetShardWorkers(*shards)
+	hostCounts, err := parseCounts(*hosts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "plexus-bench: -hosts: %v\n", err)
+		os.Exit(1)
+	}
 
 	run := func(name string, fn func() (any, error)) {
 		if *exp != "all" && *exp != name {
@@ -87,8 +97,25 @@ func main() {
 	run("latency", latency)
 	run("loss", loss)
 	run("rogue", rogue)
-	run("scale", scale)
+	run("scale", func() (any, error) { return scale(hostCounts) })
 	run("ablations", ablations)
+}
+
+// parseCounts parses a comma-separated list of positive integers; empty
+// means none.
+func parseCounts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad count %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // benchReport is the machine-readable record of one experiment, written as
@@ -263,19 +290,19 @@ func rogue() (any, error) {
 	return rows, w.Flush()
 }
 
-func scale() (any, error) {
-	header("Scale: N clients vs one server over the switched fabric")
-	rows, err := bench.Scale(bench.DefaultScaleClients(), bench.DefaultScaleDuration)
+func scale(hostCounts []int) (any, error) {
+	header("Scale: client cells vs one server, plus sharded N-host topologies")
+	rows, err := bench.Scale(bench.DefaultScaleClients(), hostCounts, bench.DefaultScaleDuration)
 	if err != nil {
 		return nil, err
 	}
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "clients\tsystem\tworkload\tsegs\tops\tgoodput (Mb/s)\tserver CPU\tp50 (µs)\tp99 (µs)\tretries\tswitch drops\trx errors")
+	fmt.Fprintln(w, "hosts\tclients\tsystem\tworkload\tsegs\tops\tgoodput (Mb/s)\tserver CPU\tp50 (µs)\tp99 (µs)\tretries\tswitch drops\trx errors\tevents")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%d\t%s\t%s\t%d\t%d\t%.2f\t%.1f%%\t%.0f\t%.0f\t%d\t%d\t%d\n",
-			r.Clients, r.System, r.Workload, r.Segments, r.Ops, r.GoodputMbps,
+		fmt.Fprintf(w, "%d\t%d\t%s\t%s\t%d\t%d\t%.2f\t%.1f%%\t%.0f\t%.0f\t%d\t%d\t%d\t%d\n",
+			r.Hosts, r.Clients, r.System, r.Workload, r.Segments, r.Ops, r.GoodputMbps,
 			r.ServerCPU*100, r.P50.Micros(), r.P99.Micros(),
-			r.Retries, r.SwitchDrops, r.RxErrors)
+			r.Retries, r.SwitchDrops, r.RxErrors, r.Events)
 	}
 	return rows, w.Flush()
 }

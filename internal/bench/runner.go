@@ -38,6 +38,29 @@ func Parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// shardWorkers holds the per-cell shard worker count for sharded topologies;
+// 0 or 1 means sequential shard execution.
+var shardWorkers atomic.Int32
+
+// SetShardWorkers sets how many goroutines each sharded experiment cell uses
+// to advance its shards. cmd/plexus-bench wires its -shards flag here. The
+// setting changes wall-clock only: the shard partition is fixed by the
+// topology, so rows are byte-identical at any value.
+func SetShardWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	shardWorkers.Store(int32(n))
+}
+
+// ShardWorkers reports the effective shard worker count.
+func ShardWorkers() int {
+	if n := int(shardWorkers.Load()); n > 0 {
+		return n
+	}
+	return 1
+}
+
 // simEvents accumulates sim.Sim.Executed across experiment cells, feeding the
 // events/sec figure in plexus-bench's -json output.
 var simEvents atomic.Uint64

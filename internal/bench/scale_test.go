@@ -2,6 +2,7 @@ package bench
 
 import (
 	"reflect"
+	"runtime"
 	"testing"
 
 	"plexus/internal/sim"
@@ -10,7 +11,7 @@ import (
 // A short sweep produces sane rows: every cell completes operations, CPU
 // utilization is a fraction, and latency percentiles are ordered.
 func TestScaleSmoke(t *testing.T) {
-	rows, err := Scale([]int{1, 4}, 50*sim.Millisecond)
+	rows, err := Scale([]int{1, 4}, nil, 50*sim.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,17 +39,75 @@ func TestScaleSmoke(t *testing.T) {
 func TestScaleDeterministicAcrossParallelism(t *testing.T) {
 	defer SetParallelism(0)
 	SetParallelism(1)
-	seq, err := Scale([]int{4}, 50*sim.Millisecond)
+	seq, err := Scale([]int{4}, nil, 50*sim.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
 	SetParallelism(4)
-	par, err := Scale([]int{4}, 50*sim.Millisecond)
+	par, err := Scale([]int{4}, nil, 50*sim.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(seq, par) {
 		t.Fatalf("rows differ across parallelism:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+// The smallest sharded host cell (two segments) completes local and
+// cross-segment work and reports coherent aggregates.
+func TestScaleHostCellSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("400-host cell")
+	}
+	row, err := scaleHostCell(SysPlexusInterrupt, 400, 50*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Hosts != 400 || row.Segments != 2 {
+		t.Fatalf("Hosts=%d Segments=%d, want 400/2", row.Hosts, row.Segments)
+	}
+	if row.Clients != 398 {
+		t.Fatalf("Clients = %d, want 398", row.Clients)
+	}
+	if row.Ops == 0 || row.Events == 0 {
+		t.Fatalf("degenerate row: %+v", row)
+	}
+	if row.ServerCPU <= 0 || row.ServerCPU > 1 {
+		t.Fatalf("server CPU %.3f out of range", row.ServerCPU)
+	}
+	if row.P99 < row.P50 {
+		t.Fatalf("p99 %v < p50 %v", row.P99, row.P50)
+	}
+}
+
+// TestScaleShardedDeterministic is the sharded determinism property at the
+// experiment level: every (shard workers × GOMAXPROCS) combination yields a
+// byte-identical row — ops, percentiles, retries, drops, and the summed
+// fired-event count. (The span-count half of the property lives in
+// internal/plexus's TestShardedTopologyDeterministicAcrossWorkers.)
+func TestScaleShardedDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("400-host cells")
+	}
+	defer SetShardWorkers(1)
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	run := func(workers, procs int) ScaleRow {
+		t.Helper()
+		SetShardWorkers(workers)
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		row, err := scaleHostCell(SysPlexusInterrupt, 400, 50*sim.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return row
+	}
+	base := run(1, 1)
+	for _, cfg := range [][2]int{{1, 4}, {3, 1}, {3, 4}, {8, 2}} {
+		if got := run(cfg[0], cfg[1]); !reflect.DeepEqual(got, base) {
+			t.Fatalf("workers=%d GOMAXPROCS=%d diverged:\ngot  %+v\nwant %+v",
+				cfg[0], cfg[1], got, base)
+		}
 	}
 }
 

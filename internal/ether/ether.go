@@ -33,6 +33,8 @@ type Layer struct {
 	pool  *mbuf.Pool
 	cpu   *sim.CPU
 	costs osmodel.Costs
+	// sendRef is the resolved SendEvent handle for the per-frame tap check.
+	sendRef *event.Ref
 }
 
 // Config wires a Layer.
@@ -58,12 +60,13 @@ func New(cfg Config) (*Layer, error) {
 		return nil, err
 	}
 	return &Layer{
-		nic:   cfg.NIC,
-		disp:  cfg.Disp,
-		raise: cfg.Raise,
-		pool:  cfg.Pool,
-		cpu:   cfg.CPU,
-		costs: cfg.Costs,
+		nic:     cfg.NIC,
+		disp:    cfg.Disp,
+		raise:   cfg.Raise,
+		pool:    cfg.Pool,
+		cpu:     cfg.CPU,
+		costs:   cfg.Costs,
+		sendRef: cfg.Disp.Ref(SendEvent),
 	}, nil
 }
 
@@ -77,6 +80,11 @@ func (l *Layer) CPUSubmit(label string, fn func(*sim.Task)) {
 // layers use it to push packets to the next node of the graph.
 func (l *Layer) Raise(t *sim.Task, name event.Name, m *mbuf.Mbuf) int {
 	return l.raise.Raise(t, name, m)
+}
+
+// RaiseRef is Raise through a resolved handle — the per-packet form.
+func (l *Layer) RaiseRef(t *sim.Task, r *event.Ref, m *mbuf.Mbuf) int {
+	return l.raise.RaiseRef(t, r, m)
 }
 
 // MAC returns the interface hardware address.
@@ -114,8 +122,8 @@ func (l *Layer) Send(t *sim.Task, dst view.MAC, etherType uint16, m *mbuf.Mbuf) 
 	eth.SetDst(dst)
 	eth.SetSrc(l.nic.MAC())
 	eth.SetEtherType(etherType)
-	if l.disp.HandlerCount(SendEvent) > 0 {
-		l.raise.Raise(t, SendEvent, fm)
+	if l.sendRef.HandlerCount() > 0 {
+		l.raise.RaiseRef(t, l.sendRef, fm)
 	}
 	return l.nic.Transmit(t, fm)
 }

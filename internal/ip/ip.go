@@ -76,6 +76,11 @@ type Layer struct {
 	reasm map[reasmKey]*reasmBuf
 	stats Stats
 
+	// recvRef/sendRef are the layer's resolved event handles for the
+	// per-packet path.
+	recvRef *event.Ref
+	sendRef *event.Ref
+
 	// VerifyRxChecksum controls software verification of the header
 	// checksum on receive (on by default; an ablation disables it).
 	VerifyRxChecksum bool
@@ -122,6 +127,8 @@ func New(cfg Config) (*Layer, error) {
 	if err := cfg.Disp.Declare(SendEvent, event.Options{}); err != nil {
 		return nil, err
 	}
+	l.recvRef = cfg.Disp.Ref(RecvEvent)
+	l.sendRef = cfg.Disp.Ref(SendEvent)
 	_, err := cfg.Ether.InstallRecv(
 		ether.TypeGuard(view.EtherTypeIPv4),
 		event.Ephemeral("ip.input", l.input),
@@ -282,8 +289,8 @@ func (l *Layer) sendFragment(t *sim.Task, src, dst view.IP4, proto uint8, id uin
 	if hdr := dm.Hdr(); hdr != nil {
 		t.Hop(hdr.Span, "ip", "send", hdr.Len)
 	}
-	if l.disp.HandlerCount(SendEvent) > 0 {
-		l.eth.Raise(t, SendEvent, dm)
+	if l.sendRef.HandlerCount() > 0 {
+		l.eth.RaiseRef(t, l.sendRef, dm)
 	}
 	return l.arp.Send(t, nextHop, view.EtherTypeIPv4, dm)
 }
@@ -367,7 +374,7 @@ func (l *Layer) input(t *sim.Task, m *mbuf.Mbuf) {
 	if hdr := m.Hdr(); hdr != nil {
 		t.Hop(hdr.Span, "ip", "recv", hdr.Len)
 	}
-	if l.eth.Raise(t, RecvEvent, m) == 0 {
+	if l.eth.RaiseRef(t, l.recvRef, m) == 0 {
 		l.sim.Tracef(sim.TraceProto, "ip: datagram proto=%d with no handler", v.Proto())
 		m.Free()
 	}

@@ -272,9 +272,10 @@ type NIC struct {
 	name   string
 	mac    view.MAC
 	link   *Link
-	// RecvEvent is raised (at interrupt priority, after driver costs) for
-	// every frame that passes the MAC filter.
-	recvEvent event.Name
+	// recvRef is the resolved receive event, raised (at interrupt
+	// priority, after driver costs) for every frame that passes the MAC
+	// filter.
+	recvRef *event.Ref
 	promisc   bool
 	stats     NICStats
 	// rxLabel and jobFree back the allocation-free receive path: the task
@@ -298,13 +299,18 @@ type Config struct {
 	// raises inline, a Stack may interpose thread handoff.
 	Raise event.Raiser
 	Pool  *mbuf.Pool
-	// RecvEvent must be a declared event; the NIC raises it on arrivals.
-	RecvEvent event.Name
+	// RecvRef must reference a declared event; the NIC raises it on
+	// arrivals. It may be left nil and wired later with SetRecvRef when
+	// the NIC is built before the layer that declares its receive event.
+	RecvRef *event.Ref
 	MAC       view.MAC
 	// Promiscuous disables the MAC destination filter (the forwarder and
 	// trace tools use it).
 	Promiscuous bool
 }
+
+// SetRecvRef wires (or rewires) the NIC's receive event after construction.
+func (n *NIC) SetRecvRef(r *event.Ref) { n.recvRef = r }
 
 // NewNIC creates a NIC and attaches it to the link.
 func NewNIC(s *sim.Sim, name string, model Model, link *Link, cfg Config) *NIC {
@@ -317,7 +323,7 @@ func NewNIC(s *sim.Sim, name string, model Model, link *Link, cfg Config) *NIC {
 		name:      name,
 		mac:       cfg.MAC,
 		link:      link,
-		recvEvent: cfg.RecvEvent,
+		recvRef:   cfg.RecvRef,
 		promisc:   cfg.Promiscuous,
 	}
 	n.rxLabel = "rx:" + name
@@ -508,7 +514,7 @@ func nicRx(t *sim.Task, a any) {
 	}
 	// Received packets are read-only through the graph (§3.4).
 	m.SetReadOnly()
-	if n.raiser.Raise(t, n.recvEvent, m) == 0 {
+	if n.raiser.RaiseRef(t, n.recvRef, m) == 0 {
 		if n.sim.TraceEnabled() {
 			n.sim.Tracef(sim.TraceNet, "%s: frame with no handler, dropped", n.name)
 		}

@@ -44,11 +44,11 @@ func newRig(t *testing.T, model Model, promiscB bool) *rig {
 	r.dispB.MustDeclare(testRecvEvent, event.Options{})
 	r.a = NewNIC(s, "a/nic", model, r.link, Config{
 		CPU: r.cpuA, Raise: r.dispA, Pool: r.poolA,
-		RecvEvent: testRecvEvent, MAC: view.MAC{2, 0, 0, 0, 0, 1},
+		RecvRef: r.dispA.Ref(testRecvEvent), MAC: view.MAC{2, 0, 0, 0, 0, 1},
 	})
 	r.b = NewNIC(s, "b/nic", model, r.link, Config{
 		CPU: r.cpuB, Raise: r.dispB, Pool: r.poolB,
-		RecvEvent: testRecvEvent, MAC: view.MAC{2, 0, 0, 0, 0, 2},
+		RecvRef: r.dispB.Ref(testRecvEvent), MAC: view.MAC{2, 0, 0, 0, 0, 2},
 		Promiscuous: promiscB,
 	})
 	if _, err := r.dispB.Install(testRecvEvent, nil, event.Proc("sink", func(task *sim.Task, m *mbuf.Mbuf) {

@@ -89,6 +89,9 @@ type Port struct {
 	sw   *Switch
 	id   int
 	link *Link
+	// model is the port's wire model — the switch's fabric model for local
+	// cables, or a per-port override for long-haul uplinks.
+	model Model
 	// busyUntil is when the port's transmitter frees.
 	busyUntil sim.Time
 	// departs[head:] are the scheduled departure instants of frames still
@@ -147,7 +150,15 @@ func (sw *Switch) MACTableLen() int { return len(sw.macs) }
 // AttachLink creates a new port and joins it to cable l. Everything already
 // on the cable (typically one host NIC) becomes reachable through the fabric.
 func (sw *Switch) AttachLink(l *Link) *Port {
-	p := &Port{sw: sw, id: len(sw.ports), link: l}
+	return sw.AttachLinkModel(l, sw.model)
+}
+
+// AttachLinkModel attaches a cable whose port runs its own wire model — a
+// long-haul uplink hanging off an otherwise local fabric. Serialization and
+// propagation on this port follow model; the fabric latency and queue bounds
+// stay the switch's.
+func (sw *Switch) AttachLinkModel(l *Link, model Model) *Port {
+	p := &Port{sw: sw, id: len(sw.ports), link: l, model: model}
 	sw.ports = append(sw.ports, p)
 	l.atts = append(l.atts, p)
 	return p
@@ -270,7 +281,7 @@ func (p *Port) enqueue(now sim.Time, f *frame) {
 	if p.busyUntil > start {
 		start = p.busyUntil
 	}
-	depart := start + p.sw.model.serialization(size)
+	depart := start + p.model.serialization(size)
 	p.busyUntil = depart
 	if p.head > 0 && len(p.departs) == cap(p.departs) {
 		// Compact in place instead of growing: bounded queues must not
@@ -284,7 +295,7 @@ func (p *Port) enqueue(now sim.Time, f *frame) {
 	p.stats.TxBytes += uint64(size)
 	p.link.frames++
 	p.link.bytes += uint64(size)
-	arrival := depart + p.sw.model.PropDelay
+	arrival := depart + p.model.PropDelay
 	for _, dst := range p.link.atts {
 		if dst != attachment(p) {
 			dst.deliverAt(arrival, f)

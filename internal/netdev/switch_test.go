@@ -40,7 +40,7 @@ func newSwRig(t *testing.T, model Model, cfg SwitchConfig, n int) *swRig {
 		disp.MustDeclare(testRecvEvent, event.Options{})
 		h.nic = NewNIC(s, "nic", model, h.cable, Config{
 			CPU: h.cpu, Raise: disp, Pool: h.pool,
-			RecvEvent: testRecvEvent, MAC: view.MAC{2, 0, 0, 0, 1, byte(i + 1)},
+			RecvRef: disp.Ref(testRecvEvent), MAC: view.MAC{2, 0, 0, 0, 1, byte(i + 1)},
 		})
 		if _, err := disp.Install(testRecvEvent, nil, event.Proc("sink", func(task *sim.Task, m *mbuf.Mbuf) {
 			data, _ := m.CopyData(0, m.PktLen())

@@ -85,30 +85,35 @@ type modeRaiser struct {
 
 // Raise implements event.Raiser.
 func (r *modeRaiser) Raise(t *sim.Task, name event.Name, m *mbuf.Mbuf) int {
-	disp := r.host.Disp
+	return r.RaiseRef(t, r.host.Disp.Ref(name), m)
+}
+
+// RaiseRef implements event.Raiser's resolved-handle raise — the form every
+// protocol layer uses on its per-packet path.
+func (r *modeRaiser) RaiseRef(t *sim.Task, ref *event.Ref, m *mbuf.Mbuf) int {
 	switch {
 	case r.host.Personality == osmodel.SPIN && r.mode == osmodel.DispatchThread:
-		n := disp.HandlerCount(name)
+		n := ref.HandlerCount()
 		if n == 0 {
 			return 0
 		}
 		t.ChargeProf(sim.ProfDispatch, "thread-spawn", r.host.Costs.ThreadSpawn)
-		r.host.CPU.SubmitAt(t.Now(), sim.PrioKernel, "raise:"+string(name), func(t2 *sim.Task) {
-			disp.Raise(t2, name, m)
+		r.host.CPU.SubmitAt(t.Now(), sim.PrioKernel, "raise:"+string(ref.Name()), func(t2 *sim.Task) {
+			ref.Raise(t2, m)
 		})
 		return n
-	case r.host.Personality == osmodel.Monolithic && name == ether.RecvEvent:
-		n := disp.HandlerCount(name)
+	case r.host.Personality == osmodel.Monolithic && ref.Name() == ether.RecvEvent:
+		n := ref.HandlerCount()
 		if n == 0 {
 			return 0
 		}
-		r.host.CPU.SubmitAt(t.Now(), sim.PrioKernel, "softirq:"+string(name), func(t2 *sim.Task) {
+		r.host.CPU.SubmitAt(t.Now(), sim.PrioKernel, "softirq:"+string(ref.Name()), func(t2 *sim.Task) {
 			t2.ChargeProf(sim.ProfDispatch, "softirq", r.host.Costs.SoftIRQ)
-			disp.Raise(t2, name, m)
+			ref.Raise(t2, m)
 		})
 		return n
 	default:
-		return disp.Raise(t, name, m)
+		return ref.Raise(t, m)
 	}
 }
 
@@ -130,12 +135,13 @@ func NewStack(s *sim.Sim, name string, cfg StackConfig) (*Stack, error) {
 	interruptMode := cfg.Personality == osmodel.SPIN && cfg.Dispatch == osmodel.DispatchInterrupt
 
 	nic := netdev.NewNIC(s, name+"/"+cfg.Model.Name, cfg.Model, cfg.Link, netdev.Config{
-		CPU:       host.CPU,
-		Raise:     raiser,
-		Pool:      host.Pool,
-		RecvEvent: ether.RecvEvent,
-		MAC:       cfg.MAC,
+		CPU:   host.CPU,
+		Raise: raiser,
+		Pool:  host.Pool,
+		MAC:   cfg.MAC,
 	})
+	// The receive event is declared by ether.New below; the NIC's handle
+	// is wired once it exists.
 	eth, err := ether.New(ether.Config{
 		NIC:   nic,
 		Disp:  host.Disp,
@@ -151,6 +157,7 @@ func NewStack(s *sim.Sim, name string, cfg StackConfig) (*Stack, error) {
 	if err != nil {
 		return nil, fmt.Errorf("plexus: %w", err)
 	}
+	nic.SetRecvRef(host.Disp.Ref(ether.RecvEvent))
 	ar, err := arp.New(s, eth, host.Pool, costs, cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("plexus: %w", err)

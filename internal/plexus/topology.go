@@ -31,6 +31,11 @@ type SegmentSpec struct {
 	// .1; the gateway interface is .254.
 	Subnet view.IP4
 	Hosts  []HostSpec
+	// Uplink, when nonzero, is the wire model of this segment's link to the
+	// gateway in a sharded topology — e.g. a metro-scale fiber whose longer
+	// propagation delay widens the shard synchronization window. Zero means
+	// the uplink runs the segment's own Model.
+	Uplink netdev.Model
 }
 
 // Segment is one built subnet.
@@ -65,6 +70,12 @@ type Gateway struct {
 	CPU    *sim.CPU
 	Ifaces []*Stack
 	stats  GatewayStats
+	// scratch is the forwarding path's reusable header-rewrite buffer: the
+	// received chain is read-only (§3.4), so the datagram is copied here,
+	// TTL/checksum rewritten in place, and re-emitted from the egress pool.
+	// All forwarding runs on the gateway's one CPU, so one buffer suffices
+	// and the steady-state path allocates nothing.
+	scratch []byte
 }
 
 // Stats returns a snapshot of forwarding counters.
@@ -227,28 +238,33 @@ func (g *Gateway) forwardFrom(ingress *Stack) func(t *sim.Task, m *mbuf.Mbuf) bo
 			m.Free()
 			return true
 		}
-		// The received chain is read-only (§3.4): rewrite on a copy.
-		out, err := m.DeepCopy()
-		if err != nil {
+		// The received chain is read-only (§3.4): rewrite on the gateway's
+		// pooled scratch — a DeepCopy here would allocate a fresh data
+		// buffer for every cross-segment frame.
+		n := m.PktLen()
+		if cap(g.scratch) < n {
+			g.scratch = make([]byte, n)
+		}
+		buf := g.scratch[:n]
+		if err := m.CopyTo(0, buf); err != nil {
 			g.stats.Drops++
 			m.Free()
 			return true
 		}
-		m.Free()
-		b, err := out.MutableBytes()
-		if err != nil {
-			g.stats.Drops++
-			out.Free()
-			return true
+		span := uint64(0)
+		if hdr := m.Hdr(); hdr != nil {
+			span = hdr.Span
 		}
-		ov, err := view.IPv4(b)
+		m.Free()
+		ov, err := view.IPv4(buf)
 		if err != nil {
 			g.stats.Drops++
-			out.Free()
 			return true
 		}
 		ov.SetTTL(ov.TTL() - 1)
 		ov.ComputeChecksum()
+		out := egress.Host.Pool.FromBytes(buf, 0)
+		out.Hdr().Span = span
 		if err := egress.IP.Forward(t, out); err != nil {
 			g.stats.Drops++
 			return true

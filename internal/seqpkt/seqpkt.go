@@ -90,8 +90,10 @@ type Manager struct {
 	ip    *ip.Layer
 	disp  *event.Dispatcher
 	raise event.Raiser
-	cpu   *sim.CPU
-	pool  *mbuf.Pool
+	// recvRef is the resolved RecvEvent handle for the per-packet path.
+	recvRef *event.Ref
+	cpu     *sim.CPU
+	pool    *mbuf.Pool
 	costs osmodel.Costs
 
 	ports map[uint16]*Endpoint
@@ -128,6 +130,7 @@ func Install(cfg Config) (*Manager, error) {
 	if err := cfg.Disp.Declare(RecvEvent, event.Options{RequireEphemeral: cfg.RequireEphemeral}); err != nil {
 		return nil, err
 	}
+	m.recvRef = cfg.Disp.Ref(RecvEvent)
 	_, err := cfg.Disp.Install(ip.RecvEvent, icmp.ProtoGuard(IPProto),
 		event.Ephemeral("seqpkt.input", m.input), 0)
 	if err != nil {
@@ -170,7 +173,7 @@ func (m *Manager) input(t *sim.Task, pkt *mbuf.Mbuf) {
 		pkt.Free()
 		return
 	}
-	if m.raise.Raise(t, RecvEvent, pkt) == 0 {
+	if m.raise.RaiseRef(t, m.recvRef, pkt) == 0 {
 		m.stats.NoPort++
 		pkt.Free()
 	}

@@ -160,7 +160,7 @@ func submitArrive(a any) {
 	if m := c.sim.metrics; m != nil {
 		depth := 0
 		for p := range c.queue {
-			depth += len(c.queue[p])
+			depth += len(c.queue[p]) - c.qhead[p]
 		}
 		m.QueueDepth(c.name, depth)
 	}
@@ -171,10 +171,15 @@ func submitArrive(a any) {
 // priority first, FIFO within a priority. It accounts busy time so experiments
 // can report utilization (Figure 6).
 type CPU struct {
-	sim   *Sim
-	name  string
-	seq   uint64
+	sim  *Sim
+	name string
+	seq  uint64
+	// queue[p][qhead[p]:] holds the pending tasks of priority p. Dequeue
+	// advances the head index instead of shifting the slice (a saturated
+	// CPU's backlog makes shifting quadratic); the dead prefix is compacted
+	// away once it outgrows the live tail.
 	queue [numPrios][]pendingTask
+	qhead [numPrios]int
 	// freeAt is when the currently-running task (if any) finishes.
 	freeAt  Time
 	running bool
@@ -267,13 +272,26 @@ func (c *CPU) kick() {
 
 func (c *CPU) dequeue() (pendingTask, bool) {
 	for p := Priority(0); p < numPrios; p++ {
-		if n := len(c.queue[p]); n > 0 {
-			pt := c.queue[p][0]
-			copy(c.queue[p], c.queue[p][1:])
-			c.queue[p][n-1] = pendingTask{} // drop fn/arg references
-			c.queue[p] = c.queue[p][:n-1]
-			return pt, true
+		q, h := c.queue[p], c.qhead[p]
+		if h >= len(q) {
+			continue
 		}
+		pt := q[h]
+		q[h] = pendingTask{} // drop fn/arg references
+		h++
+		switch {
+		case h == len(q):
+			c.queue[p], c.qhead[p] = q[:0], 0
+		case h > 32 && h > len(q)-h:
+			// Dead prefix outgrew the live tail: compact so capacity
+			// tracks the backlog, not the total ever enqueued.
+			n := copy(q, q[h:])
+			clear(q[n:])
+			c.queue[p], c.qhead[p] = q[:n], 0
+		default:
+			c.qhead[p] = h
+		}
+		return pt, true
 	}
 	return pendingTask{}, false
 }

@@ -89,12 +89,30 @@ func (s *Sim) Metrics() Metrics { return s.metrics }
 func (s *Sim) MetricsEnabled() bool { return s.metrics != nil }
 
 // NextSpan allocates a packet-lifecycle trace ID. IDs are per-simulator and
-// sequential from 1, so a run's spans are stable across replays; 0 means
-// "unstamped" everywhere.
+// sequential from 1 (above any SetSpanBase offset), so a run's spans are
+// stable across replays; 0 means "unstamped" everywhere.
 func (s *Sim) NextSpan() uint64 {
 	s.spanSeq++
 	return s.spanSeq
 }
+
+// SetSpanBase offsets this simulator's span IDs. Sharded topologies give
+// each shard a disjoint base (shard index shifted into the high bits) so
+// spans stay unique across the whole topology while each shard allocates
+// them locally and deterministically. Call before any span is stamped.
+func (s *Sim) SetSpanBase(base uint64) { s.spanSeq = base }
+
+// SpanCount reports how many spans this simulator has allocated (regardless
+// of any base offset). The cross-shard determinism property test compares
+// per-shard span counts — IDs differ by construction, counts must not.
+func (s *Sim) SpanCount() uint64 { return s.spanSeq & (1<<spanBaseShift - 1) }
+
+// spanBaseShift is the low-bit width reserved for per-shard span sequence
+// numbers; bases passed to SetSpanBase must be multiples of 1<<spanBaseShift.
+const spanBaseShift = 40
+
+// SpanBase returns the canonical span base for shard index i.
+func SpanBase(i int) uint64 { return uint64(i) << spanBaseShift }
 
 // Hop records a packet-lifecycle hop at the task's current virtual time on
 // the task's CPU. It is a no-op when metrics are disabled or the packet was

@@ -58,8 +58,10 @@ type Manager struct {
 	ip    *ip.Layer
 	disp  *event.Dispatcher
 	raise event.Raiser
-	cpu   *sim.CPU
-	pool  *mbuf.Pool
+	// recvRef is the resolved RecvEvent handle for the per-segment path.
+	recvRef *event.Ref
+	cpu     *sim.CPU
+	pool    *mbuf.Pool
 	costs osmodel.Costs
 
 	listeners map[uint16]*Listener
@@ -116,6 +118,7 @@ func New(cfg Config) (*Manager, error) {
 	if err := cfg.Disp.Declare(RecvEvent, event.Options{RequireEphemeral: cfg.RequireEphemeral}); err != nil {
 		return nil, err
 	}
+	m.recvRef = cfg.Disp.Ref(RecvEvent)
 	guard := func(t *sim.Task, pkt *mbuf.Mbuf) bool {
 		if !icmp.ProtoGuard(view.IPProtoTCP)(t, pkt) {
 			return false
@@ -190,7 +193,7 @@ func (m *Manager) input(t *sim.Task, pkt *mbuf.Mbuf) {
 		pkt.Free()
 		return
 	}
-	if m.raise.Raise(t, RecvEvent, pkt) == 0 {
+	if m.raise.RaiseRef(t, m.recvRef, pkt) == 0 {
 		m.stats.NoMatch++
 		m.sendRSTFor(t, pkt)
 		pkt.Free()

@@ -75,8 +75,12 @@ type Manager struct {
 	icmp  *icmp.Layer // may be nil; used for port-unreachable
 	disp  *event.Dispatcher
 	raise event.Raiser
-	pool  *mbuf.Pool
-	costs osmodel.Costs
+	// recvRef/sendRef are the manager's resolved event handles for the
+	// per-datagram path.
+	recvRef *event.Ref
+	sendRef *event.Ref
+	pool    *mbuf.Pool
+	costs   osmodel.Costs
 
 	ports map[uint16]*Endpoint
 	// claimed ports belong to another UDP implementation in the graph;
@@ -125,6 +129,8 @@ func New(cfg Config) (*Manager, error) {
 	if err := cfg.Disp.Declare(SendEvent, event.Options{}); err != nil {
 		return nil, err
 	}
+	m.recvRef = cfg.Disp.Ref(RecvEvent)
+	m.sendRef = cfg.Disp.Ref(SendEvent)
 	guard := func(t *sim.Task, pkt *mbuf.Mbuf) bool {
 		if !icmp.ProtoGuard(view.IPProtoUDP)(t, pkt) {
 			return false
@@ -209,7 +215,7 @@ func (m *Manager) input(t *sim.Task, pkt *mbuf.Mbuf) {
 			return
 		}
 	}
-	if m.raise.Raise(t, RecvEvent, pkt) == 0 {
+	if m.raise.RaiseRef(t, m.recvRef, pkt) == 0 {
 		m.stats.NoPort++
 		if m.icmp != nil {
 			if err := m.icmp.SendUnreachable(t, pkt); err != nil {
@@ -425,8 +431,8 @@ func (e *Endpoint) Send(t *sim.Task, dst view.IP4, dstPort uint16, payload *mbuf
 	if hdr := seg.Hdr(); hdr != nil {
 		t.Hop(hdr.Span, "udp", "send", hdr.Len)
 	}
-	if e.mgr.disp.HandlerCount(SendEvent) > 0 {
-		e.mgr.raise.Raise(t, SendEvent, seg)
+	if e.mgr.sendRef.HandlerCount() > 0 {
+		e.mgr.raise.RaiseRef(t, e.mgr.sendRef, seg)
 	}
 	return e.mgr.ip.Send(t, view.IP4{}, dst, view.IPProtoUDP, seg)
 }
