@@ -10,7 +10,7 @@
 // Usage:
 //
 //	plexus-bench                 # run everything
-//	plexus-bench -exp fig5       # one experiment: fig5 | tput | fig6 | fig7 | http | loss | rogue | ablations
+//	plexus-bench -exp fig5       # one experiment: fig5 | tput | fig6 | fig7 | http | loss | rogue | scale | fabric | ablations
 //	plexus-bench -exp fig5 -fastdriver
 //	plexus-bench -size 2097152   # bulk-transfer size for tput
 //	plexus-bench -parallel 1     # sequential (deterministic baseline)
@@ -32,7 +32,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all | fig5 | tput | fig6 | fig7 | http | latency | loss | rogue | scale | ablations")
+	exp := flag.String("exp", "all", "experiment: all | fig5 | tput | fig6 | fig7 | http | latency | loss | rogue | scale | fabric | ablations")
 	fast := flag.Bool("fastdriver", false, "use the faster device driver variant (§4.1)")
 	size := flag.Int("size", 1<<20, "bulk transfer size in bytes for -exp tput")
 	parallel := flag.Int("parallel", 0, "experiment cells run concurrently (0 = GOMAXPROCS, 1 = sequential)")
@@ -98,6 +98,7 @@ func main() {
 	run("loss", loss)
 	run("rogue", rogue)
 	run("scale", func() (any, error) { return scale(hostCounts) })
+	run("fabric", fabricExp)
 	run("ablations", ablations)
 }
 
@@ -303,6 +304,30 @@ func scale(hostCounts []int) (any, error) {
 			r.Hosts, r.Clients, r.System, r.Workload, r.Segments, r.Ops, r.GoodputMbps,
 			r.ServerCPU*100, r.P50.Micros(), r.P99.Micros(),
 			r.Retries, r.SwitchDrops, r.RxErrors, r.Events)
+	}
+	return rows, w.Flush()
+}
+
+func fabricExp() (any, error) {
+	header("Fabric: VIP-load-balanced datacenter cell (ACL → LB → NAT → ECMP on the gateway)")
+	rows, err := bench.Fabric(bench.DefaultFabricRates(), bench.DefaultFabricPools(), bench.DefaultFabricDuration)
+	if err != nil {
+		return nil, err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "rate (req/s)\tpool\tclients\tops\tgoodput (Mb/s)\tp50 (µs)\tp99 (µs)\tretries\tskew\tNAT entries\tlink split\tpipe drops\tevents")
+	for _, r := range rows {
+		split := ""
+		for i, h := range r.LinkHits {
+			if i > 0 {
+				split += "/"
+			}
+			split += strconv.FormatUint(h, 10)
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%.2f\t%.0f\t%.0f\t%d\t%.2f\t%d\t%s\t%d\t%d\n",
+			r.Rate, r.PoolSize, r.Clients, r.Ops, r.GoodputMbps,
+			r.P50.Micros(), r.P99.Micros(), r.Retries, r.Skew,
+			r.NATOccupancy, split, r.PipeDrops, r.Events)
 	}
 	return rows, w.Flush()
 }

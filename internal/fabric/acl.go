@@ -1,0 +1,41 @@
+package fabric
+
+import "plexus/internal/filter"
+
+// The ACL firewall service: an ordered permit/deny table with a default
+// policy. Permit is NextTable — matched traffic is allowed but still flows
+// through later services (NAT, load balancing) — while deny is Drop.
+
+// ACLEntry is one firewall rule.
+type ACLEntry struct {
+	Name   string
+	Match  string // filter source; empty matches everything
+	Permit bool
+}
+
+// NewACL builds an ACL table from entries in order, terminated by a
+// match-all rule applying the default policy.
+func NewACL(name string, base filter.Base, entries []ACLEntry, defaultPermit bool) (*Table, error) {
+	tb := NewTable(name)
+	for _, e := range entries {
+		v, label := Drop, "deny"
+		if e.Permit {
+			v, label = NextTable, "permit"
+		}
+		r, err := NewRule(e.Name, e.Match, base, VerdictAction{Label: label, V: v})
+		if err != nil {
+			return nil, err
+		}
+		tb.Add(r)
+	}
+	v, label := Drop, "default-deny"
+	if defaultPermit {
+		v, label = NextTable, "default-permit"
+	}
+	def, err := NewRule(label, "", base, VerdictAction{Label: label, V: v})
+	if err != nil {
+		return nil, err
+	}
+	tb.Add(def)
+	return tb, nil
+}

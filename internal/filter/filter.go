@@ -92,7 +92,13 @@ func fieldProto(name string) uint8 {
 // extract pulls a field's value from the packet. ok is false when the field
 // does not apply (wrong framing, wrong protocol, truncated packet).
 func extract(m *mbuf.Mbuf, base Base, f Field, wantProto uint8) (v uint32, ok bool) {
-	b := m.Bytes()
+	return extractBytes(m.Bytes(), base, f, wantProto)
+}
+
+// extractBytes is extract over a raw byte slice — the form the fabric plane
+// uses, where packets in flight are frames or header scratch buffers rather
+// than mbufs.
+func extractBytes(b []byte, base Base, f Field, wantProto uint8) (v uint32, ok bool) {
 	ipOff := 0
 	if base == BaseEthernet {
 		eth, err := view.Ethernet(b)
@@ -176,18 +182,19 @@ const (
 	OpGt
 	OpLe
 	OpGe
+	OpIn // CIDR prefix membership
 	OpAnd
 	OpOr
 )
 
 func (o Op) String() string {
-	return [...]string{"==", "!=", "<", ">", "<=", ">=", "&&", "||"}[o]
+	return [...]string{"==", "!=", "<", ">", "<=", ">=", "in", "&&", "||"}[o]
 }
 
 // Node is a filter expression node.
 type Node interface {
 	// eval returns the node's boolean value for the packet.
-	eval(m *mbuf.Mbuf, base Base) bool
+	eval(b []byte, base Base) bool
 	String() string
 }
 
@@ -200,8 +207,8 @@ type cmpNode struct {
 	value     uint32
 }
 
-func (n *cmpNode) eval(m *mbuf.Mbuf, base Base) bool {
-	v, ok := extract(m, base, n.field, n.proto)
+func (n *cmpNode) eval(b []byte, base Base) bool {
+	v, ok := extractBytes(b, base, n.field, n.proto)
 	if !ok {
 		return false
 	}
@@ -226,17 +233,38 @@ func (n *cmpNode) String() string {
 	return fmt.Sprintf("%s %s %d", n.fieldName, n.op, n.value)
 }
 
+// inNode tests CIDR prefix membership: `ip.dst in 10.0.1.0/24`. value holds
+// the network (already masked) and mask the prefix mask.
+type inNode struct {
+	fieldName string
+	field     Field
+	proto     uint8
+	value     uint32
+	mask      uint32
+	prefixLen int
+}
+
+func (n *inNode) eval(b []byte, base Base) bool {
+	v, ok := extractBytes(b, base, n.field, n.proto)
+	return ok && v&n.mask == n.value
+}
+
+func (n *inNode) String() string {
+	return fmt.Sprintf("%s in %d.%d.%d.%d/%d", n.fieldName,
+		n.value>>24, n.value>>16&0xff, n.value>>8&0xff, n.value&0xff, n.prefixLen)
+}
+
 // boolNode combines two subexpressions.
 type boolNode struct {
 	op   Op // OpAnd or OpOr
 	l, r Node
 }
 
-func (n *boolNode) eval(m *mbuf.Mbuf, base Base) bool {
+func (n *boolNode) eval(b []byte, base Base) bool {
 	if n.op == OpAnd {
-		return n.l.eval(m, base) && n.r.eval(m, base)
+		return n.l.eval(b, base) && n.r.eval(b, base)
 	}
-	return n.l.eval(m, base) || n.r.eval(m, base)
+	return n.l.eval(b, base) || n.r.eval(b, base)
 }
 
 func (n *boolNode) String() string {
@@ -246,8 +274,8 @@ func (n *boolNode) String() string {
 // notNode negates a subexpression.
 type notNode struct{ x Node }
 
-func (n *notNode) eval(m *mbuf.Mbuf, base Base) bool { return !n.x.eval(m, base) }
-func (n *notNode) String() string                    { return "!" + n.x.String() }
+func (n *notNode) eval(b []byte, base Base) bool { return !n.x.eval(b, base) }
+func (n *notNode) String() string                { return "!" + n.x.String() }
 
 // fieldTruth treats a bare field as "nonzero" (e.g. `ip.frag`).
 type fieldTruth struct {
@@ -256,8 +284,8 @@ type fieldTruth struct {
 	proto     uint8
 }
 
-func (n *fieldTruth) eval(m *mbuf.Mbuf, base Base) bool {
-	v, ok := extract(m, base, n.field, n.proto)
+func (n *fieldTruth) eval(b []byte, base Base) bool {
+	v, ok := extractBytes(b, base, n.field, n.proto)
 	return ok && v != 0
 }
 
@@ -285,7 +313,12 @@ func Parse(src string, base Base) (*Filter, error) {
 func (f *Filter) String() string { return f.src }
 
 // Match evaluates the filter against a packet.
-func (f *Filter) Match(m *mbuf.Mbuf) bool { return f.root.eval(m, f.base) }
+func (f *Filter) Match(m *mbuf.Mbuf) bool { return f.root.eval(m.Bytes(), f.base) }
+
+// MatchBytes evaluates the filter against a raw packet buffer — used by the
+// fabric plane, where packets are wire frames or header scratch rather than
+// mbufs.
+func (f *Filter) MatchBytes(b []byte) bool { return f.root.eval(b, f.base) }
 
 // Guard returns the filter as a native event.Guard — the typesafe-extension
 // model: compiled code, charged only the dispatcher's guard cost.

@@ -111,6 +111,74 @@ func TestBasicMatching(t *testing.T) {
 	}
 }
 
+func TestCIDRMatching(t *testing.T) {
+	in24 := mkPacket(t, pktSpec{proto: view.IPProtoUDP, src: view.IP4{10, 0, 1, 7}, dst: view.IP4{10, 0, 1, 200}, dport: 7})
+	out24 := mkPacket(t, pktSpec{proto: view.IPProtoUDP, src: view.IP4{10, 0, 2, 7}, dst: view.IP4{192, 168, 0, 1}, dport: 7})
+
+	cases := []struct {
+		src       string
+		wantIn24  bool
+		wantOut24 bool
+	}{
+		{"ip.dst in 10.0.1.0/24", true, false},
+		{"ip.src in 10.0.1.0/24", true, false},
+		{"ip.dst in 10.0.0.0/16", true, false},
+		{"ip.dst in 0.0.0.0/0", true, true},
+		{"ip.dst in 192.168.0.1/32", false, true},
+		{"ip.dst in 10.0.1.7/24", true, false}, // host bits masked off
+		{"!(ip.dst in 10.0.1.0/24)", false, true},
+		{"ip.src in 10.0.0.0/8 && udp.dport == 7", true, true},
+	}
+	for _, c := range cases {
+		f := mustParse(t, c.src, BaseEthernet)
+		prog := CompileFilter(f)
+		if got := f.Match(in24); got != c.wantIn24 {
+			t.Errorf("%q on in24: got %v, want %v", c.src, got, c.wantIn24)
+		}
+		if got := f.Match(out24); got != c.wantOut24 {
+			t.Errorf("%q on out24: got %v, want %v", c.src, got, c.wantOut24)
+		}
+		// Interpreted backend must agree.
+		if got := prog.Run(nil, in24); got != c.wantIn24 {
+			t.Errorf("VM %q on in24: got %v, want %v", c.src, got, c.wantIn24)
+		}
+		if got := prog.Run(nil, out24); got != c.wantOut24 {
+			t.Errorf("VM %q on out24: got %v, want %v", c.src, got, c.wantOut24)
+		}
+	}
+}
+
+func TestCIDRParseErrors(t *testing.T) {
+	bad := []string{
+		"ip.dst in 10.0.1.0/33",
+		"ip.dst in 10.0.1.0/",
+		"ip.dst in 7",
+		"ip.dst in 10.0.1.0",
+		"ip.dst in",
+		"in 10.0.1.0/24",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src, BaseEthernet); err == nil {
+			t.Errorf("Parse(%q) accepted", src)
+		}
+	}
+}
+
+func TestMatchBytes(t *testing.T) {
+	m := mkPacket(t, pktSpec{proto: view.IPProtoUDP, src: view.IP4{10, 0, 1, 7}, dst: view.IP4{10, 0, 2, 9}, dport: 53})
+	f := mustParse(t, "ip.dst in 10.0.2.0/24 && udp.dport == 53", BaseEthernet)
+	if !f.MatchBytes(m.Bytes()) {
+		t.Fatal("MatchBytes rejected matching buffer")
+	}
+	p := CompileFilter(f)
+	if !p.RunBytes(nil, m.Bytes()) {
+		t.Fatal("RunBytes rejected matching buffer")
+	}
+	if f.MatchBytes(nil) || p.RunBytes(nil, nil) {
+		t.Fatal("empty buffer matched")
+	}
+}
+
 func TestBaseIPFraming(t *testing.T) {
 	// A packet that starts at the IP header (as seen on IP.PacketRecv).
 	full := mkPacket(t, pktSpec{proto: view.IPProtoUDP, src: view.IP4{10, 0, 0, 1}, dst: view.IP4{10, 0, 0, 2}, dport: 9})

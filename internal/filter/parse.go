@@ -12,9 +12,10 @@ import (
 //	or     := and { "||" and }
 //	and    := unary { "&&" unary }
 //	unary  := "!" unary | "(" expr ")" | cmp
-//	cmp    := field [ op value ]
+//	cmp    := field [ op value | "in" cidr ]
 //	op     := "==" | "!=" | "<" | ">" | "<=" | ">="
 //	value  := integer | hex integer | dotted-quad IPv4 address
+//	cidr   := dotted-quad IPv4 address "/" prefix-length
 //	field  := identifier "." identifier
 
 type tokKind int
@@ -23,6 +24,7 @@ const (
 	tokEOF tokKind = iota
 	tokField
 	tokNumber
+	tokCIDR   // dotted-quad/prefix, e.g. 10.0.1.0/24
 	tokOp     // comparison
 	tokAndAnd // &&
 	tokOrOr   // ||
@@ -35,6 +37,8 @@ type token struct {
 	kind tokKind
 	text string
 	val  uint32
+	mask uint32 // CIDR prefix mask (tokCIDR only)
+	plen int    // CIDR prefix length (tokCIDR only)
 	pos  int
 }
 
@@ -134,6 +138,27 @@ func (l *lexer) number() error {
 				return fmt.Errorf("filter: bad address %q at %d", text, start)
 			}
 			v = v<<8 | uint32(n)
+		}
+		// A '/' after a dotted quad makes it a CIDR prefix: 10.0.1.0/24.
+		if l.pos < len(l.src) && l.src[l.pos] == '/' {
+			l.pos++
+			pstart := l.pos
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.pos++
+			}
+			plen, err := strconv.ParseUint(l.src[pstart:l.pos], 10, 8)
+			if err != nil || plen > 32 {
+				return fmt.Errorf("filter: bad prefix length in %q at %d", l.src[start:l.pos], start)
+			}
+			var mask uint32
+			if plen > 0 {
+				mask = ^uint32(0) << (32 - plen)
+			}
+			l.toks = append(l.toks, token{
+				kind: tokCIDR, text: l.src[start:l.pos],
+				val: v & mask, mask: mask, plen: int(plen), pos: start,
+			})
+			return nil
 		}
 		l.toks = append(l.toks, token{kind: tokNumber, text: text, val: v, pos: start})
 		return nil
@@ -250,6 +275,16 @@ func (p *parser) cmp() (Node, error) {
 		return nil, fmt.Errorf("filter: unknown field %q at %d", t.text, t.pos)
 	}
 	proto := fieldProto(t.text)
+	if p.peek().kind == tokField && p.peek().text == "in" {
+		// CIDR membership: `ip.dst in 10.0.1.0/24`.
+		p.next()
+		v := p.next()
+		if v.kind != tokCIDR {
+			return nil, fmt.Errorf("filter: expected CIDR after 'in' at %d, got %q", v.pos, v.text)
+		}
+		return &inNode{fieldName: t.text, field: field, proto: proto,
+			value: v.val, mask: v.mask, prefixLen: v.plen}, nil
+	}
 	if p.peek().kind != tokOp {
 		// Bare field: truthiness (e.g. `ip.frag`).
 		return &fieldTruth{fieldName: t.text, field: field, proto: proto}, nil

@@ -86,7 +86,11 @@ func (p *Program) String() string {
 		case opPush:
 			fmt.Fprintf(&sb, "%3d  PUSH   %d\n", i, in.val)
 		case opCmp:
-			fmt.Fprintf(&sb, "%3d  CMP    %s\n", i, in.cmp)
+			if in.cmp == OpIn {
+				fmt.Fprintf(&sb, "%3d  CMP    in mask=%08x\n", i, in.val)
+			} else {
+				fmt.Fprintf(&sb, "%3d  CMP    %s\n", i, in.cmp)
+			}
 		case opTruth:
 			fmt.Fprintf(&sb, "%3d  TRUTH\n", i)
 		case opNot:
@@ -111,6 +115,14 @@ func (p *Program) compile(n Node) {
 			instr{op: opLoadField, field: x.field, proto: x.proto},
 			instr{op: opPush, val: x.value},
 			instr{op: opCmp, cmp: x.op},
+		)
+	case *inNode:
+		// CIDR membership: the masked network is pushed as the comparand and
+		// the prefix mask rides in the CMP instruction's val operand.
+		p.code = append(p.code,
+			instr{op: opLoadField, field: x.field, proto: x.proto},
+			instr{op: opPush, val: x.value},
+			instr{op: opCmp, cmp: OpIn, val: x.mask},
 		)
 	case *fieldTruth:
 		p.code = append(p.code,
@@ -139,6 +151,12 @@ func (p *Program) compile(n Node) {
 // Run interprets the program against a packet, charging t per executed
 // instruction (t may be nil in tests that only want the verdict).
 func (p *Program) Run(t *sim.Task, m *mbuf.Mbuf) bool {
+	return p.RunBytes(t, m.Bytes())
+}
+
+// RunBytes interprets the program against a raw packet buffer — the fabric
+// plane's entry point, where packets are frames or header scratch.
+func (p *Program) RunBytes(t *sim.Task, b []byte) bool {
 	var stack [16]uint32
 	sp := 0
 	lastValid := true
@@ -148,7 +166,7 @@ func (p *Program) Run(t *sim.Task, m *mbuf.Mbuf) bool {
 		in := p.code[pc]
 		switch in.op {
 		case opLoadField:
-			v, ok := extract(m, p.base, in.field, in.proto)
+			v, ok := extractBytes(b, p.base, in.field, in.proto)
 			lastValid = ok
 			stack[sp] = v
 			sp++
@@ -162,6 +180,10 @@ func (p *Program) Run(t *sim.Task, m *mbuf.Mbuf) bool {
 			r := uint32(0)
 			if lastValid {
 				switch in.cmp {
+				case OpIn:
+					if a&in.val == b {
+						r = 1
+					}
 				case OpEq:
 					if a == b {
 						r = 1

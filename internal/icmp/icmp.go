@@ -19,6 +19,7 @@ type Stats struct {
 	EchoRepliesSent  uint64
 	BadChecksum      uint64
 	UnreachSent      uint64
+	TimeExceededSent uint64
 }
 
 // EchoReply describes a received echo response.
@@ -141,11 +142,25 @@ func (l *Layer) input(t *sim.Task, m *mbuf.Mbuf) {
 // SendUnreachable emits a destination-unreachable (port) citing the offending
 // datagram orig (not consumed), as udp_input does for closed ports.
 func (l *Layer) SendUnreachable(t *sim.Task, orig *mbuf.Mbuf) error {
+	l.stats.UnreachSent++
+	return l.sendError(t, view.ICMPDestUnreach, view.ICMPCodePortUnr, orig)
+}
+
+// SendTimeExceeded emits a time-exceeded (TTL expired in transit) citing the
+// offending datagram orig (not consumed) — the forwarding plane's answer to a
+// datagram whose TTL ran out at the gateway.
+func (l *Layer) SendTimeExceeded(t *sim.Task, orig *mbuf.Mbuf) error {
+	l.stats.TimeExceededSent++
+	return l.sendError(t, view.ICMPTimeExceeded, view.ICMPCodeTTLExpired, orig)
+}
+
+// sendError builds and sends an ICMP error of the given type/code quoting the
+// offending datagram's IP header + 8 bytes of payload, per RFC 792.
+func (l *Layer) sendError(t *sim.Task, typ, code uint8, orig *mbuf.Mbuf) error {
 	ipv, err := view.IPv4(orig.Bytes())
 	if err != nil {
 		return err
 	}
-	// Quote the IP header + 8 bytes of payload, per RFC 792.
 	quote := ipv.HdrLen() + 8
 	if orig.PktLen() < quote {
 		quote = orig.PktLen()
@@ -157,10 +172,9 @@ func (l *Layer) SendUnreachable(t *sim.Task, orig *mbuf.Mbuf) error {
 	buf := make([]byte, view.ICMPHdrLen+len(q))
 	copy(buf[view.ICMPHdrLen:], q)
 	v, _ := view.ICMP(buf)
-	v.SetType(view.ICMPDestUnreach)
-	v.SetCode(view.ICMPCodePortUnr)
+	v.SetType(typ)
+	v.SetCode(code)
 	v.SetChecksum(0)
 	v.SetChecksum(view.Checksum(buf))
-	l.stats.UnreachSent++
 	return l.ip.Send(t, view.IP4{}, ipv.Src(), view.IPProtoICMP, l.pool.FromBytes(buf, 64))
 }

@@ -1,0 +1,192 @@
+package netdev
+
+import (
+	"testing"
+
+	"plexus/internal/event"
+	"plexus/internal/fabric"
+	"plexus/internal/filter"
+	"plexus/internal/sim"
+	"plexus/internal/view"
+)
+
+// sendIP transmits an Ethernet-framed UDP datagram from host src.
+func (r *swRig) sendIP(t *testing.T, src int, dstMAC view.MAC, dstIP view.IP4, dport uint16) {
+	t.Helper()
+	h := r.hosts[src]
+	b := make([]byte, view.EthernetHdrLen+view.IPv4MinHdrLen+view.UDPHdrLen+16)
+	eth, _ := view.Ethernet(b)
+	eth.SetDst(dstMAC)
+	eth.SetSrc(h.nic.MAC())
+	eth.SetEtherType(view.EtherTypeIPv4)
+	ip := b[view.EthernetHdrLen:]
+	ip[0] = 0x45
+	ipv, _ := view.IPv4(ip)
+	ipv.SetTotalLen(len(ip))
+	ipv.SetTTL(64)
+	ipv.SetProto(view.IPProtoUDP)
+	ipv.SetSrc(view.IP4{10, 0, 0, byte(src + 1)})
+	ipv.SetDst(dstIP)
+	ipv.ComputeChecksum()
+	uv, _ := view.UDP(ip[view.IPv4MinHdrLen:])
+	uv.SetSrcPort(5000)
+	uv.SetDstPort(dport)
+	uv.SetLength(len(ip) - view.IPv4MinHdrLen)
+	m := h.pool.FromBytes(b, 0)
+	h.cpu.Submit(sim.PrioKernel, "tx", func(task *sim.Task) {
+		if err := h.nic.Transmit(task, m); err != nil {
+			t.Errorf("transmit: %v", err)
+		}
+	})
+}
+
+func aclPipe(t *testing.T, entries []fabric.ACLEntry, defaultPermit bool) *fabric.Pipeline {
+	t.Helper()
+	tb, err := fabric.NewACL("acl", filter.BaseEthernet, entries, defaultPermit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fabric.NewPipeline("port-acl", filter.BaseEthernet, event.QuarantinePolicy{}).Add(tb)
+}
+
+// An ingress ACL drops matching frames before the MAC lookup; clean traffic
+// and the drop counters are unaffected elsewhere.
+func TestSwitchIngressPipelineDrops(t *testing.T) {
+	r := newSwRig(t, EthernetModel(), SwitchConfig{}, 3)
+	pl := aclPipe(t, []fabric.ACLEntry{
+		{Name: "no-telnet", Match: "udp.dport == 23", Permit: false},
+	}, true)
+	r.sw.Ports()[0].SetIngressPipeline(pl)
+
+	r.sendIP(t, 0, r.hosts[1].nic.MAC(), view.IP4{10, 0, 0, 2}, 23) // dropped
+	r.sendIP(t, 0, r.hosts[1].nic.MAC(), view.IP4{10, 0, 0, 2}, 80) // passes
+	r.sendIP(t, 2, r.hosts[1].nic.MAC(), view.IP4{10, 0, 0, 2}, 23) // no pipeline on port 2
+	r.sim.Run()
+
+	if got := r.sw.Stats().PipeDrops; got != 1 {
+		t.Errorf("switch PipeDrops = %d, want 1", got)
+	}
+	if got := r.sw.Ports()[0].Stats().PipeDrops; got != 1 {
+		t.Errorf("port 0 PipeDrops = %d, want 1", got)
+	}
+	// Host 1 sees the permitted frame and the unfiltered port's frame (both
+	// flooded: dst unknown), but never the dropped one.
+	if got := len(r.hosts[1].rx); got != 2 {
+		t.Errorf("host 1 received %d frames, want 2", got)
+	}
+	snap := pl.Snapshot()
+	if snap[0].Hits != 1 {
+		t.Errorf("no-telnet hits = %d, want 1", snap[0].Hits)
+	}
+	if snap[1].Hits != 1 { // default-permit
+		t.Errorf("default-permit hits = %d, want 1", snap[1].Hits)
+	}
+}
+
+// An egress pipeline guards one port only: a flooded frame is dropped at the
+// filtered port but still delivered out every other port, and the per-rule
+// hit counters see each flood copy that reached the port.
+func TestSwitchEgressPipelineUnderFlood(t *testing.T) {
+	r := newSwRig(t, EthernetModel(), SwitchConfig{}, 4)
+	pl := aclPipe(t, []fabric.ACLEntry{
+		{Name: "no-telnet", Match: "udp.dport == 23", Permit: false},
+	}, true)
+	r.sw.Ports()[2].SetEgressPipeline(pl)
+
+	// Unknown destination: floods to ports 1, 2, 3. Port 2's egress ACL eats
+	// its copy.
+	r.sendIP(t, 0, view.MAC{2, 0, 0, 0, 9, 9}, view.IP4{10, 0, 0, 99}, 23)
+	r.sendIP(t, 0, view.MAC{2, 0, 0, 0, 9, 9}, view.IP4{10, 0, 0, 99}, 80)
+	r.sim.Run()
+
+	if got := r.sw.Stats().Flooded; got != 2 {
+		t.Fatalf("Flooded = %d, want 2", got)
+	}
+	if got := r.hosts[2].deliveries(); got != 1 {
+		t.Errorf("filtered host saw %d frames, want 1 (telnet copy dropped)", got)
+	}
+	for _, i := range []int{1, 3} {
+		if got := r.hosts[i].deliveries(); got != 2 {
+			t.Errorf("host %d saw %d frames, want 2", i, got)
+		}
+	}
+	if got := r.sw.Ports()[2].Stats().PipeDrops; got != 1 {
+		t.Errorf("port 2 PipeDrops = %d, want 1", got)
+	}
+	snap := pl.Snapshot()
+	if snap[0].Hits != 1 || snap[1].Hits != 1 {
+		t.Errorf("hits = %d/%d, want 1/1 (one flood copy each)", snap[0].Hits, snap[1].Hits)
+	}
+}
+
+// A steer rule overrides the MAC-table lookup: matching frames exit the
+// configured port even when the destination was learned elsewhere.
+func TestSwitchSteerOverridesMACLookup(t *testing.T) {
+	r := newSwRig(t, EthernetModel(), SwitchConfig{}, 4)
+	// Learn everyone's MAC first so unicast would normally be forwarded.
+	for i := range r.hosts {
+		r.send(t, i, view.BroadcastMAC, 64)
+	}
+	r.sim.Run()
+	base := make([]uint64, len(r.hosts))
+	for i, h := range r.hosts {
+		base[i] = h.deliveries()
+	}
+
+	steer, err := fabric.NewSteerRule("mirror-telnet", "udp.dport == 23", filter.BaseEthernet, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := fabric.NewPipeline("steer", filter.BaseEthernet, event.QuarantinePolicy{}).
+		Add(fabric.NewTable("steer").Add(steer))
+	r.sw.Ports()[0].SetIngressPipeline(pl)
+
+	r.sendIP(t, 0, r.hosts[1].nic.MAC(), view.IP4{10, 0, 0, 2}, 23)
+	r.sim.Run()
+	if got := r.sw.Stats().Steered; got != 1 {
+		t.Fatalf("Steered = %d, want 1", got)
+	}
+	if got := r.hosts[3].deliveries() - base[3]; got != 1 {
+		t.Errorf("steer target saw %d new frames, want 1", got)
+	}
+	if got := r.hosts[1].deliveries() - base[1]; got != 0 {
+		t.Errorf("MAC owner saw %d new frames, want 0 (steer overrides lookup)", got)
+	}
+}
+
+// A rewrite action misdeployed onto a switch port panics on the shared
+// read-only frame; the sandbox quarantines it and the port falls back to
+// plain forwarding without losing traffic.
+func TestSwitchQuarantinedPipelineFallsBack(t *testing.T) {
+	r := newSwRig(t, EthernetModel(), SwitchConfig{}, 3)
+	rewrite, err := fabric.NewRule("bad-rewrite", "", filter.BaseEthernet,
+		fabric.ActionFunc{Label: "bad-rewrite", Fn: func(task *sim.Task, p *fabric.Packet) fabric.Verdict {
+			fabric.RewriteAddrPort(p, false, view.IP4{10, 9, 9, 9}, 0, false)
+			return fabric.NextTable
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := fabric.NewPipeline("bad", filter.BaseEthernet, event.QuarantinePolicy{Threshold: 2}).
+		Add(fabric.NewTable("bad").Add(rewrite))
+	r.sw.Ports()[0].SetIngressPipeline(pl)
+
+	for i := 0; i < 4; i++ {
+		r.sendIP(t, 0, r.hosts[1].nic.MAC(), view.IP4{10, 0, 0, 2}, 80)
+		r.sim.Run()
+	}
+	if got := pl.Stats().Faults; got != 2 {
+		t.Errorf("faults = %d, want 2 (quarantined after threshold)", got)
+	}
+	if !pl.Quarantined() {
+		t.Error("pipeline not quarantined")
+	}
+	// Every frame was still delivered: faults skip the rule, and after
+	// quarantine the pipeline is inert.
+	if got := r.hosts[1].deliveries(); got != 4 {
+		t.Errorf("host 1 saw %d frames, want 4", got)
+	}
+	if got := r.sw.Stats().PipeDrops; got != 0 {
+		t.Errorf("PipeDrops = %d, want 0", got)
+	}
+}

@@ -119,6 +119,7 @@ func NewShardedTopology(seed int64, gw *HostSpec, segs []SegmentSpec) (*ShardedT
 		}
 		seg.Switch.AttachLinkModel(bnd.LinkB(), uplink)
 		seg.GW = st
+		seg.GWs = append(seg.GWs, st)
 		seg.Cables = append(seg.Cables, bnd.LinkB())
 		top.Gateway.Ifaces = append(top.Gateway.Ifaces, st)
 		top.Engine.Connect(bnd.CouplingAB(), segShard)

@@ -8,6 +8,8 @@ package plexus
 import (
 	"fmt"
 
+	"plexus/internal/fabric"
+	"plexus/internal/filter"
 	"plexus/internal/mbuf"
 	"plexus/internal/netdev"
 	"plexus/internal/sim"
@@ -36,6 +38,10 @@ type SegmentSpec struct {
 	// propagation delay widens the shard synchronization window. Zero means
 	// the uplink runs the segment's own Model.
 	Uplink netdev.Model
+	// GatewayLinks is the number of parallel gateway interfaces on this
+	// segment (default 1). Extra interfaces take addresses counting down
+	// from .253; a fabric ECMP rule spreads flows across them.
+	GatewayLinks int
 }
 
 // Segment is one built subnet.
@@ -53,14 +59,19 @@ type Segment struct {
 	// GW is the gateway's interface stack on this segment (nil for a
 	// single-segment topology).
 	GW *Stack
+	// GWs are all gateway interfaces on this segment (GWs[0] == GW); more
+	// than one when the spec asked for parallel ECMP links.
+	GWs []*Stack
 }
 
 // GatewayStats counts forwarding-plane activity.
 type GatewayStats struct {
-	Forwarded  uint64
-	TTLExpired uint64
-	NoRoute    uint64
-	Drops      uint64 // copy or transmit failures
+	Forwarded        uint64
+	TTLExpired       uint64
+	TimeExceededSent uint64 // ICMP Time Exceeded emitted back to senders
+	NoRoute          uint64
+	Drops            uint64 // copy or transmit failures
+	PipeDrops        uint64 // datagrams the fabric pipeline dropped
 }
 
 // Gateway is the multi-homed forwarding host: one interface stack per
@@ -76,10 +87,25 @@ type Gateway struct {
 	// All forwarding runs on the gateway's one CPU, so one buffer suffices
 	// and the steady-state path allocates nothing.
 	scratch []byte
+	// pipeline is the optional match-action stage on the forwarding path; it
+	// runs on the scratch copy before egress selection, so destination
+	// rewrites (VIP → pool member, NAT address → inside host) route
+	// correctly, and its path choice steers ECMP egress.
+	pipeline *fabric.Pipeline
+	// pkt is the pipeline's reusable packet context.
+	pkt fabric.Packet
 }
 
 // Stats returns a snapshot of forwarding counters.
 func (g *Gateway) Stats() GatewayStats { return g.stats }
+
+// InstallPipeline installs (or clears, with nil) the gateway's forwarding
+// pipeline. The pipeline must use filter.BaseIP framing: it sees datagrams
+// with the IP header at offset 0.
+func (g *Gateway) InstallPipeline(pl *fabric.Pipeline) { g.pipeline = pl }
+
+// Pipeline returns the installed forwarding pipeline, or nil.
+func (g *Gateway) Pipeline() *fabric.Pipeline { return g.pipeline }
 
 // Topology is a set of segments joined by a gateway.
 type Topology struct {
@@ -106,7 +132,11 @@ func NewTopology(seed int64, gw *HostSpec, segs []SegmentSpec) (*Topology, error
 		top.Gateway = &Gateway{CPU: sim.NewCPU(s, gw.Name)}
 	}
 	for si, spec := range segs {
-		if len(spec.Hosts) > gatewayHostByte-1 {
+		gwLinks := spec.GatewayLinks
+		if gwLinks < 1 || top.Gateway == nil {
+			gwLinks = 1
+		}
+		if len(spec.Hosts) > gatewayHostByte-gwLinks {
 			return nil, fmt.Errorf("plexus: segment %s: %d hosts exceed a /24", spec.Name, len(spec.Hosts))
 		}
 		seg := &Segment{Name: spec.Name, Subnet: spec.Subnet}
@@ -154,22 +184,33 @@ func NewTopology(seed int64, gw *HostSpec, segs []SegmentSpec) (*Topology, error
 			seg.Hosts = append(seg.Hosts, st)
 		}
 		if top.Gateway != nil {
-			st, err := NewStack(s, gw.Name+"/"+spec.Name, StackConfig{
-				Personality: gw.Personality,
-				Dispatch:    gw.Dispatch,
-				Model:       spec.Model,
-				Link:        attach(),
-				MAC:         view.MAC{0x02, 0x00, 0x00, 0x00, byte(si + 1), gatewayHostByte},
-				Addr:        gwAddr,
-				Mask:        view.IP4{255, 255, 255, 0},
-				Costs:       gw.Costs,
-				CPU:         top.Gateway.CPU,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("plexus: gateway on %s: %w", spec.Name, err)
+			// k == 0 is the hosts' default route (.254); extra parallel
+			// interfaces count down from .253 — the equal-cost links an
+			// ECMP rule spreads flows across.
+			for k := 0; k < gwLinks; k++ {
+				name := gw.Name + "/" + spec.Name
+				if k > 0 {
+					name = fmt.Sprintf("%s.%d", name, k)
+				}
+				hb := byte(gatewayHostByte - k)
+				st, err := NewStack(s, name, StackConfig{
+					Personality: gw.Personality,
+					Dispatch:    gw.Dispatch,
+					Model:       spec.Model,
+					Link:        attach(),
+					MAC:         view.MAC{0x02, 0x00, 0x00, 0x00, byte(si + 1), hb},
+					Addr:        addr(hb),
+					Mask:        view.IP4{255, 255, 255, 0},
+					Costs:       gw.Costs,
+					CPU:         top.Gateway.CPU,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("plexus: gateway on %s: %w", spec.Name, err)
+				}
+				seg.GWs = append(seg.GWs, st)
+				top.Gateway.Ifaces = append(top.Gateway.Ifaces, st)
 			}
-			seg.GW = st
-			top.Gateway.Ifaces = append(top.Gateway.Ifaces, st)
+			seg.GW = seg.GWs[0]
 		}
 		top.Segments = append(top.Segments, seg)
 	}
@@ -198,8 +239,8 @@ func (top *Topology) Host(name string) *Stack {
 func (top *Topology) PrimeARP() {
 	for _, seg := range top.Segments {
 		members := seg.Hosts
-		if seg.GW != nil {
-			members = append(append([]*Stack{}, seg.Hosts...), seg.GW)
+		if len(seg.GWs) > 0 {
+			members = append(append([]*Stack{}, seg.Hosts...), seg.GWs...)
 		}
 		for _, a := range members {
 			for _, b := range members {
@@ -214,62 +255,140 @@ func (top *Topology) PrimeARP() {
 // forwardFrom builds the ingress interface's forwarding hook: datagrams for
 // other subnets are TTL-decremented on a private copy and re-emitted out the
 // owning interface, all on the gateway's one shared CPU — exactly the
-// in-kernel redirection path of §5, applied host-wide.
+// in-kernel redirection path of §5, applied host-wide. With a fabric
+// pipeline installed, the match-action stage runs on the private copy before
+// egress selection, so destination rewrites route correctly and ECMP path
+// choices pick among parallel candidate links.
 func (g *Gateway) forwardFrom(ingress *Stack) func(t *sim.Task, m *mbuf.Mbuf) bool {
 	return func(t *sim.Task, m *mbuf.Mbuf) bool {
 		v, err := view.IPv4(m.Bytes())
 		if err != nil {
 			return false
 		}
-		dst := v.Dst()
-		var egress *Stack
-		for _, iface := range g.Ifaces {
-			if iface != ingress && iface.IP.OnLink(dst) {
-				egress = iface
-				break
+		if g.pipeline == nil {
+			// Plain path: route on the datagram's own destination first, so
+			// unroutable traffic still falls through to NotForUs accounting.
+			egress := g.pickEgress(ingress, v.Dst(), 0)
+			if egress == nil {
+				g.stats.NoRoute++
+				return false
 			}
+			if v.TTL() <= 1 {
+				g.expireTTL(t, ingress, m)
+				return true
+			}
+			buf, span, ok := g.copyOut(m)
+			if !ok {
+				return true
+			}
+			return g.emit(t, egress, buf, span)
 		}
-		if egress == nil {
-			g.stats.NoRoute++
-			return false
-		}
+		// Fabric path: the pipeline may rewrite the destination (VIP → pool
+		// member, NAT address → inside host), so routing happens after it.
 		if v.TTL() <= 1 {
-			g.stats.TTLExpired++
-			m.Free()
+			g.expireTTL(t, ingress, m)
 			return true
 		}
-		// The received chain is read-only (§3.4): rewrite on the gateway's
-		// pooled scratch — a DeepCopy here would allocate a fresh data
-		// buffer for every cross-segment frame.
-		n := m.PktLen()
-		if cap(g.scratch) < n {
-			g.scratch = make([]byte, n)
-		}
-		buf := g.scratch[:n]
-		if err := m.CopyTo(0, buf); err != nil {
-			g.stats.Drops++
-			m.Free()
+		buf, span, ok := g.copyOut(m)
+		if !ok {
 			return true
 		}
-		span := uint64(0)
-		if hdr := m.Hdr(); hdr != nil {
-			span = hdr.Span
+		g.pkt = fabric.Packet{Buf: buf, Base: filter.BaseIP, Writable: true, OutPort: -1}
+		if g.pipeline.Exec(t, &g.pkt) == fabric.Drop {
+			g.stats.PipeDrops++
+			return true
 		}
-		m.Free()
 		ov, err := view.IPv4(buf)
 		if err != nil {
 			g.stats.Drops++
 			return true
 		}
-		ov.SetTTL(ov.TTL() - 1)
-		ov.ComputeChecksum()
-		out := egress.Host.Pool.FromBytes(buf, 0)
-		out.Hdr().Span = span
-		if err := egress.IP.Forward(t, out); err != nil {
-			g.stats.Drops++
+		egress := g.pickEgress(ingress, ov.Dst(), g.pkt.Path)
+		if egress == nil {
+			g.stats.NoRoute++
 			return true
 		}
-		g.stats.Forwarded++
+		return g.emit(t, egress, buf, span)
+	}
+}
+
+// pickEgress selects the forwarding interface for dst: the path'th candidate
+// (mod the candidate count) among interfaces other than the ingress with dst
+// on-link — so an ECMP path index spreads flows across parallel links, and
+// path 0 degenerates to the first match.
+func (g *Gateway) pickEgress(ingress *Stack, dst view.IP4, path int) *Stack {
+	count := 0
+	for _, iface := range g.Ifaces {
+		if iface != ingress && iface.IP.OnLink(dst) {
+			count++
+		}
+	}
+	if count == 0 {
+		return nil
+	}
+	pick := 0
+	if count > 1 && path > 0 {
+		pick = path % count
+	}
+	i := 0
+	for _, iface := range g.Ifaces {
+		if iface != ingress && iface.IP.OnLink(dst) {
+			if i == pick {
+				return iface
+			}
+			i++
+		}
+	}
+	return nil
+}
+
+// expireTTL answers a datagram whose TTL ran out: ICMP Time Exceeded back to
+// the sender (per RFC 1812), counted in forwarding stats. m is consumed.
+func (g *Gateway) expireTTL(t *sim.Task, ingress *Stack, m *mbuf.Mbuf) {
+	g.stats.TTLExpired++
+	if err := ingress.ICMP.SendTimeExceeded(t, m); err == nil {
+		g.stats.TimeExceededSent++
+	}
+	m.Free()
+}
+
+// copyOut copies the datagram to the gateway's pooled scratch buffer and
+// frees the original chain. The received chain is read-only (§3.4); a
+// DeepCopy here would allocate a fresh buffer for every cross-segment frame.
+func (g *Gateway) copyOut(m *mbuf.Mbuf) (buf []byte, span uint64, ok bool) {
+	n := m.PktLen()
+	if cap(g.scratch) < n {
+		g.scratch = make([]byte, n)
+	}
+	buf = g.scratch[:n]
+	if err := m.CopyTo(0, buf); err != nil {
+		g.stats.Drops++
+		m.Free()
+		return nil, 0, false
+	}
+	if hdr := m.Hdr(); hdr != nil {
+		span = hdr.Span
+	}
+	m.Free()
+	return buf, span, true
+}
+
+// emit decrements TTL, fixes the header checksum, and re-emits the datagram
+// out the egress interface.
+func (g *Gateway) emit(t *sim.Task, egress *Stack, buf []byte, span uint64) bool {
+	ov, err := view.IPv4(buf)
+	if err != nil {
+		g.stats.Drops++
 		return true
 	}
+	ov.SetTTL(ov.TTL() - 1)
+	ov.ComputeChecksum()
+	out := egress.Host.Pool.FromBytes(buf, 0)
+	out.Hdr().Span = span
+	if err := egress.IP.Forward(t, out); err != nil {
+		g.stats.Drops++
+		return true
+	}
+	g.stats.Forwarded++
+	return true
 }

@@ -36,6 +36,8 @@ const (
 	ProfDriver
 	// ProfProto is protocol-layer header processing.
 	ProfProto
+	// ProfFabric is match-action pipeline execution in the forwarding plane.
+	ProfFabric
 	// NumProfKinds bounds fixed per-kind tables in sinks.
 	NumProfKinds
 )
@@ -58,6 +60,8 @@ func (k ProfKind) String() string {
 		return "driver"
 	case ProfProto:
 		return "proto"
+	case ProfFabric:
+		return "fabric"
 	default:
 		return "unknown"
 	}
