@@ -14,20 +14,29 @@
 //	plexus-trace -follow 3            # one packet's full itinerary, per-hop deltas
 //	plexus-trace -chrome out.json     # Chrome trace_event profile (Perfetto)
 //	plexus-trace -folded out.txt      # folded-stacks CPU profile
+//	plexus-trace -scenario tcp -tcpstates all
+//	                                  # audited TCP state transitions + RFC 793 verdict
+//	plexus-trace -scenario tcp -tcpstates 10.0.0.1:32768-10.0.0.2:80
+//	                                  # one connection endpoint's transitions
+//	plexus-trace -scenario tcp -tcpjsonl states.jsonl
+//	                                  # state transitions as deterministic JSONL
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
+	"plexus/internal/audit"
 	"plexus/internal/icmp"
 	"plexus/internal/netdev"
 	"plexus/internal/osmodel"
 	"plexus/internal/plexus"
 	"plexus/internal/sim"
 	"plexus/internal/stats"
+	"plexus/internal/tcp"
 	"plexus/internal/view"
 )
 
@@ -38,6 +47,8 @@ func main() {
 	follow := flag.Uint64("follow", 0, "print the full itinerary of one packet span (see -spans)")
 	chrome := flag.String("chrome", "", "write a Chrome trace_event JSON profile to this file")
 	folded := flag.String("folded", "", "write a folded-stacks CPU profile to this file")
+	tcpstates := flag.String("tcpstates", "", `print audited TCP state transitions: "all" or "ip:port-ip:port"`)
+	tcpjsonl := flag.String("tcpjsonl", "", "write TCP state transitions as JSON lines to this file")
 	flag.Parse()
 
 	var cats []sim.TraceCategory
@@ -71,6 +82,30 @@ func main() {
 	}
 	metrics := stats.NewRecorder(stats.Config{})
 	net.Sim.SetMetrics(metrics)
+
+	// The TCP conformance-audit plane: an assertion sink retains every state
+	// transition, the checker screens each against RFC 793, and the optional
+	// JSONL sink writes the deterministic offline form. One shared pipeline
+	// serves both hosts, so events interleave in simulated-time order.
+	var events *audit.AssertSink
+	var checker *audit.Checker
+	var jsonlFile *os.File
+	if *tcpstates != "" || *tcpjsonl != "" {
+		events = &audit.AssertSink{}
+		sinks := audit.Tee{events}
+		if *tcpjsonl != "" {
+			f, err := os.Create(*tcpjsonl)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "plexus-trace:", err)
+				os.Exit(1)
+			}
+			jsonlFile = f
+			sinks = append(sinks, audit.NewJSONLSink(f))
+		}
+		checker = audit.NewChecker(sinks)
+		client.TCP.SetAuditSink(checker)
+		server.TCP.SetAuditSink(checker)
+	}
 
 	switch *scenario {
 	case "udp":
@@ -160,16 +195,104 @@ func main() {
 		}
 		fmt.Printf("wrote folded CPU profile to %s\n", *folded)
 	}
+	if jsonlFile != nil {
+		if err := jsonlFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "plexus-trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d TCP state transitions to %s\n", len(events.Events), *tcpjsonl)
+	}
 	switch {
+	case *tcpstates != "":
+		printTCPStates(events, checker, *tcpstates)
 	case *follow != 0:
 		printItinerary(metrics, *follow)
 	case *spans:
 		printSpans(metrics)
-	case *chrome == "" && *folded == "":
+	case *chrome == "" && *folded == "" && *tcpjsonl == "":
 		fmt.Print(rec.String())
 		fmt.Printf("%d trace events, %d sim events executed, final time %v\n",
 			len(rec.Lines), net.Sim.Executed(), net.Sim.Now())
 	}
+}
+
+// printTCPStates prints the audited transitions (all, or one endpoint's) and
+// the RFC 793 conformance verdict.
+func printTCPStates(events *audit.AssertSink, checker *audit.Checker, filter string) {
+	var match func(ev tcp.Transition) bool
+	if filter == "all" {
+		match = func(tcp.Transition) bool { return true }
+	} else {
+		la, lp, ra, rp, err := parseConn(filter)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "plexus-trace:", err)
+			os.Exit(2)
+		}
+		match = func(ev tcp.Transition) bool {
+			return ev.LocalAddr == la && ev.LocalPort == lp && ev.RemoteAddr == ra && ev.RemotePort == rp
+		}
+	}
+	n := 0
+	for _, ev := range events.Events {
+		if !match(ev) {
+			continue
+		}
+		n++
+		cause := ev.Cause.Kind.String()
+		switch ev.Cause.Kind {
+		case tcp.CauseSegment:
+			cause = fmt.Sprintf("segment %s seq=%d ack=%d", view.FlagString(ev.Cause.Flags), ev.Cause.Seq, ev.Cause.Ack)
+		case tcp.CauseTimer, tcp.CauseUser:
+			cause = fmt.Sprintf("%s %q", ev.Cause.Kind, ev.Cause.Detail)
+		}
+		fmt.Printf("%12v  %-6s %15s:%-5d → %15s:%-5d  %-12s → %-12s  on %s\n",
+			ev.At, ev.Host, ev.LocalAddr, ev.LocalPort, ev.RemoteAddr, ev.RemotePort,
+			ev.Old, ev.New, cause)
+	}
+	fmt.Printf("%d transitions (%d total), %d RFC 793 conformance violations\n",
+		n, checker.Events(), checker.ViolationCount())
+	for _, v := range checker.Violations() {
+		fmt.Printf("  VIOLATION at %v on %s: %s\n", v.Event.At, v.Event.Host, v.Reason)
+	}
+}
+
+// parseConn parses "ip:port-ip:port" as (local, remote) seen from one
+// endpoint.
+func parseConn(s string) (la view.IP4, lp uint16, ra view.IP4, rp uint16, err error) {
+	halves := strings.Split(s, "-")
+	if len(halves) != 2 {
+		return la, lp, ra, rp, fmt.Errorf("bad connection %q: want ip:port-ip:port", s)
+	}
+	if la, lp, err = parseAddr(halves[0]); err != nil {
+		return la, lp, ra, rp, err
+	}
+	ra, rp, err = parseAddr(halves[1])
+	return la, lp, ra, rp, err
+}
+
+// parseAddr parses "a.b.c.d:port".
+func parseAddr(s string) (view.IP4, uint16, error) {
+	var ip view.IP4
+	host, port, ok := strings.Cut(s, ":")
+	if !ok {
+		return ip, 0, fmt.Errorf("bad address %q: want ip:port", s)
+	}
+	octets := strings.Split(host, ".")
+	if len(octets) != 4 {
+		return ip, 0, fmt.Errorf("bad address %q: want dotted quad", host)
+	}
+	for i, o := range octets {
+		v, err := strconv.ParseUint(o, 10, 8)
+		if err != nil {
+			return ip, 0, fmt.Errorf("bad address %q: %v", host, err)
+		}
+		ip[i] = byte(v)
+	}
+	p, err := strconv.ParseUint(port, 10, 16)
+	if err != nil {
+		return ip, 0, fmt.Errorf("bad port %q: %v", port, err)
+	}
+	return ip, uint16(p), nil
 }
 
 // printSpans summarizes every recorded packet span: first/last hop and count.

@@ -1,0 +1,53 @@
+package audit
+
+import (
+	"strings"
+
+	"plexus/internal/tcp"
+	"plexus/internal/view"
+)
+
+// AssertSink retains every transition so tests can assert that a connection
+// walked an exact state path (e.g. the simultaneous-close ladder
+// FIN-WAIT-1 -> CLOSING -> TIME-WAIT -> CLOSED on both ends). It allocates
+// freely — it is a test sink, not a hot-path one — and deliberately does
+// not import the testing package so non-test tooling can use it too.
+type AssertSink struct {
+	Events []tcp.Transition
+}
+
+// Transition implements tcp.TransitionSink.
+func (a *AssertSink) Transition(ev tcp.Transition) {
+	a.Events = append(a.Events, ev)
+}
+
+// Path returns the state sequence one connection endpoint walked, starting
+// from the Old state of its first recorded transition. The endpoint is
+// identified by its 4-tuple as it sees it.
+func (a *AssertSink) Path(local view.IP4, localPort uint16, remote view.IP4, remotePort uint16) []tcp.State {
+	var path []tcp.State
+	for _, ev := range a.Events {
+		if ev.LocalAddr != local || ev.LocalPort != localPort ||
+			ev.RemoteAddr != remote || ev.RemotePort != remotePort {
+			continue
+		}
+		if len(path) == 0 {
+			path = append(path, ev.Old)
+		}
+		path = append(path, ev.New)
+	}
+	return path
+}
+
+// PathString renders Path as "CLOSED>SYN-SENT>ESTABLISHED" for one-line
+// test assertions.
+func (a *AssertSink) PathString(local view.IP4, localPort uint16, remote view.IP4, remotePort uint16) string {
+	path := a.Path(local, localPort, remote, remotePort)
+	parts := make([]string, len(path))
+	for i, s := range path {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, ">")
+}
+
+var _ tcp.TransitionSink = (*AssertSink)(nil)

@@ -1,0 +1,90 @@
+package audit
+
+import (
+	"io"
+	"strconv"
+
+	"plexus/internal/tcp"
+	"plexus/internal/view"
+)
+
+// JSONLSink writes one JSON object per transition to an io.Writer, for
+// offline analysis and cross-run diffing. The encoding is hand-rolled into
+// a reused buffer so the line format is byte-deterministic: identical
+// simulations produce identical files, and `diff` between two runs is the
+// determinism check. Write errors are sticky — recording continues as a
+// no-op and Err returns the first failure.
+type JSONLSink struct {
+	w     io.Writer
+	buf   []byte
+	err   error
+	lines uint64
+}
+
+// NewJSONLSink returns a sink writing JSON lines to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: w, buf: make([]byte, 0, 256)}
+}
+
+// Transition implements tcp.TransitionSink.
+func (j *JSONLSink) Transition(ev tcp.Transition) {
+	if j.err != nil {
+		return
+	}
+	b := j.buf[:0]
+	b = append(b, `{"at":`...)
+	b = strconv.AppendInt(b, int64(ev.At), 10)
+	b = append(b, `,"host":"`...)
+	b = append(b, ev.Host...)
+	b = append(b, `","local":"`...)
+	b = appendAddr(b, ev.LocalAddr, ev.LocalPort)
+	b = append(b, `","remote":"`...)
+	b = appendAddr(b, ev.RemoteAddr, ev.RemotePort)
+	b = append(b, `","old":"`...)
+	b = append(b, ev.Old.String()...)
+	b = append(b, `","new":"`...)
+	b = append(b, ev.New.String()...)
+	b = append(b, `","cause":"`...)
+	b = append(b, ev.Cause.Kind.String()...)
+	b = append(b, '"')
+	switch ev.Cause.Kind {
+	case tcp.CauseSegment:
+		b = append(b, `,"flags":"`...)
+		b = append(b, view.FlagString(ev.Cause.Flags)...)
+		b = append(b, `","seq":`...)
+		b = strconv.AppendUint(b, uint64(ev.Cause.Seq), 10)
+		b = append(b, `,"ack":`...)
+		b = strconv.AppendUint(b, uint64(ev.Cause.Ack), 10)
+	default:
+		b = append(b, `,"detail":"`...)
+		b = append(b, ev.Cause.Detail...)
+		b = append(b, '"')
+	}
+	b = append(b, '}', '\n')
+	j.buf = b
+	if _, err := j.w.Write(b); err != nil {
+		j.err = err
+		return
+	}
+	j.lines++
+}
+
+// appendAddr appends "a.b.c.d:port" without going through fmt.
+func appendAddr(b []byte, ip view.IP4, port uint16) []byte {
+	for i, o := range ip {
+		if i > 0 {
+			b = append(b, '.')
+		}
+		b = strconv.AppendUint(b, uint64(o), 10)
+	}
+	b = append(b, ':')
+	return strconv.AppendUint(b, uint64(port), 10)
+}
+
+// Err returns the first write error, if any.
+func (j *JSONLSink) Err() error { return j.err }
+
+// Lines returns how many lines were written successfully.
+func (j *JSONLSink) Lines() uint64 { return j.lines }
+
+var _ tcp.TransitionSink = (*JSONLSink)(nil)

@@ -51,6 +51,12 @@ type LossRow struct {
 	// link's own drop counter (loss models plus any pre-existing drops).
 	Fault       fault.Stats `json:"fault"`
 	LinkDropped uint64      `json:"link_dropped"`
+
+	// AuditTransitions counts TCP state transitions observed by the RFC 793
+	// conformance checkers on both hosts; AuditViolations must be zero for
+	// the cell to produce a row at all (a violation fails the sweep).
+	AuditTransitions uint64 `json:"audit_transitions"`
+	AuditViolations  uint64 `json:"audit_violations"`
 }
 
 // lossModel builds the drop model for one (pattern, rate) cell.
@@ -85,6 +91,7 @@ func lossTCPBulk(sys System, pattern string, rate float64, size int) (LossRow, e
 	if err != nil {
 		return LossRow{}, err
 	}
+	aud := attachAudit(client, server)
 	defer recordEvents(n.Sim)
 	var got int
 	var first, last sim.Time
@@ -111,10 +118,15 @@ func lossTCPBulk(sys System, pattern string, rate float64, size int) (LossRow, e
 		})
 	})
 	n.Sim.RunUntil(10 * 60 * sim.Second)
+	if err := aud.check(); err != nil {
+		return LossRow{}, err
+	}
 	row := LossRow{
-		DeliveredPct: 100 * float64(got) / float64(size),
-		Fault:        in.Stats(),
-		LinkDropped:  n.Link.Dropped(),
+		DeliveredPct:     100 * float64(got) / float64(size),
+		Fault:            in.Stats(),
+		LinkDropped:      n.Link.Dropped(),
+		AuditTransitions: aud.transitions(),
+		AuditViolations:  aud.violations(),
 	}
 	if got > 0 && last > first {
 		row.GoodputMbps = float64(got) * 8 / (last - first).Seconds() / 1e6
@@ -132,6 +144,7 @@ func lossSPPStream(sys System, pattern string, rate float64, msgs, msgSize int) 
 	if err != nil {
 		return LossRow{}, err
 	}
+	aud := attachAudit(client, server)
 	defer recordEvents(n.Sim)
 	install := func(st *plexus.Stack) (*seqpkt.Manager, error) {
 		return seqpkt.Install(seqpkt.Config{
@@ -177,10 +190,15 @@ func lossSPPStream(sys System, pattern string, rate float64, msgs, msgSize int) 
 		})
 	}
 	n.Sim.RunUntil(5 * 60 * sim.Second)
+	if err := aud.check(); err != nil {
+		return LossRow{}, err
+	}
 	row := LossRow{
-		DeliveredPct: 100 * float64(rx.Stats().Delivered) / float64(msgs),
-		Fault:        in.Stats(),
-		LinkDropped:  n.Link.Dropped(),
+		DeliveredPct:     100 * float64(rx.Stats().Delivered) / float64(msgs),
+		Fault:            in.Stats(),
+		LinkDropped:      n.Link.Dropped(),
+		AuditTransitions: aud.transitions(),
+		AuditViolations:  aud.violations(),
 	}
 	if len(lats) > 0 {
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
@@ -198,6 +216,7 @@ func lossHTTP(sys System, pattern string, rate float64, reqs int) (LossRow, erro
 	if err != nil {
 		return LossRow{}, err
 	}
+	aud := attachAudit(client, server)
 	defer recordEvents(n.Sim)
 	_, err = httpx.Serve(server, 80, func(t *sim.Task, req *httpx.Request) httpx.Response {
 		return httpx.Response{Status: 200, Body: make([]byte, 1024)}
@@ -216,10 +235,15 @@ func lossHTTP(sys System, pattern string, rate float64, reqs int) (LossRow, erro
 		})
 	}
 	n.Sim.RunUntil(10 * 60 * sim.Second)
+	if err := aud.check(); err != nil {
+		return LossRow{}, err
+	}
 	row := LossRow{
-		DeliveredPct: 100 * float64(len(lats)) / float64(reqs),
-		Fault:        in.Stats(),
-		LinkDropped:  n.Link.Dropped(),
+		DeliveredPct:     100 * float64(len(lats)) / float64(reqs),
+		Fault:            in.Stats(),
+		LinkDropped:      n.Link.Dropped(),
+		AuditTransitions: aud.transitions(),
+		AuditViolations:  aud.violations(),
 	}
 	if len(lats) > 0 {
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })

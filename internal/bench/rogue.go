@@ -46,6 +46,12 @@ type RogueRow struct {
 	GuardPanics   uint64 `json:"guard_panics"`
 	Terminations  uint64 `json:"terminations"`
 	GuardOverruns uint64 `json:"guard_overruns"`
+
+	// AuditTransitions counts TCP state transitions observed by the RFC 793
+	// conformance checkers on both hosts; AuditViolations must be zero for
+	// the cell to produce a row at all (a violation fails the sweep).
+	AuditTransitions uint64 `json:"audit_transitions"`
+	AuditViolations  uint64 `json:"audit_violations"`
 }
 
 // rogueQuarantine is the ejection policy every rogue cell runs under.
@@ -90,6 +96,7 @@ func rogueTCPBulk(sys System, rogues, size int) (RogueRow, error) {
 	if err != nil {
 		return RogueRow{}, err
 	}
+	aud := attachAudit(client, server)
 	defer recordEvents(n.Sim)
 	var got int
 	var first, last sim.Time
@@ -116,10 +123,15 @@ func rogueTCPBulk(sys System, rogues, size int) (RogueRow, error) {
 		})
 	})
 	n.Sim.RunUntil(10 * 60 * sim.Second)
+	if err := aud.check(); err != nil {
+		return RogueRow{}, err
+	}
 	row := RogueRow{DeliveredPct: 100 * float64(got) / float64(size)}
 	if got > 0 && last > first {
 		row.GoodputMbps = float64(got) * 8 / (last - first).Seconds() / 1e6
 	}
+	row.AuditTransitions = aud.transitions()
+	row.AuditViolations = aud.violations()
 	row.health(server)
 	return row, nil
 }
@@ -131,6 +143,7 @@ func rogueSPPStream(sys System, rogues, msgs, msgSize int) (RogueRow, error) {
 	if err != nil {
 		return RogueRow{}, err
 	}
+	aud := attachAudit(client, server)
 	defer recordEvents(n.Sim)
 	install := func(st *plexus.Stack) (*seqpkt.Manager, error) {
 		return seqpkt.Install(seqpkt.Config{
@@ -167,7 +180,12 @@ func rogueSPPStream(sys System, rogues, msgs, msgSize int) (RogueRow, error) {
 		})
 	}
 	n.Sim.RunUntil(5 * 60 * sim.Second)
+	if err := aud.check(); err != nil {
+		return RogueRow{}, err
+	}
 	row := RogueRow{DeliveredPct: 100 * float64(rx.Stats().Delivered) / float64(msgs)}
+	row.AuditTransitions = aud.transitions()
+	row.AuditViolations = aud.violations()
 	row.health(server)
 	return row, nil
 }

@@ -8,6 +8,7 @@ package fault_test
 import (
 	"testing"
 
+	"plexus/internal/audit"
 	"plexus/internal/fault"
 	"plexus/internal/netdev"
 	"plexus/internal/plexus"
@@ -22,6 +23,15 @@ func TestChaosSoak(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+
+	// Standing invariant: every TCP state transition on either host must be
+	// legal under RFC 793, no matter what the storm does to the wire.
+	auditors := map[string]*audit.Checker{
+		a.Name(): audit.NewChecker(nil),
+		b.Name(): audit.NewChecker(nil),
+	}
+	a.TCP.SetAuditSink(auditors[a.Name()])
+	b.TCP.SetAuditSink(auditors[b.Name()])
 
 	// The storm: 3% bursty loss (mean burst 5), a duplicate every 41st
 	// frame, 10% jitter up to 1ms, and a 2s carrier flap every 20s for the
@@ -127,6 +137,20 @@ func TestChaosSoak(t *testing.T) {
 	for i, conn := range conns {
 		if s := conn.Conn().State(); s != tcp.StateClosed {
 			t.Errorf("connection %d stuck in %v", i, s)
+		}
+	}
+
+	// Zero conformance violations: the storm may delay, drop, duplicate, and
+	// sever, but it must never push a TCB across an edge RFC 793 forbids.
+	for name, chk := range auditors {
+		if chk.Events() == 0 {
+			t.Errorf("%s: audit checker saw no transitions — wiring broken", name)
+		}
+		if chk.ViolationCount() != 0 {
+			for _, v := range chk.Violations() {
+				t.Errorf("%s: illegal transition %v->%v at %v: %s",
+					name, v.Event.Old, v.Event.New, v.Event.At, v.Reason)
+			}
 		}
 	}
 

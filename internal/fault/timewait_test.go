@@ -1,0 +1,149 @@
+// TIME-WAIT under loss: RFC 793 p.73 requires that a retransmitted FIN
+// arriving during TIME-WAIT is acknowledged again and restarts the 2·MSL
+// timer. A targeted drop model kills exactly the client's final ACK of the
+// close handshake, so the server must retransmit its FIN into the client's
+// TIME-WAIT — and the quiet period must stretch accordingly.
+package fault_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"plexus/internal/audit"
+	"plexus/internal/fault"
+	"plexus/internal/netdev"
+	"plexus/internal/plexus"
+	"plexus/internal/sim"
+	"plexus/internal/tcp"
+	"plexus/internal/view"
+)
+
+// finalACKDropper is a fault.DropModel that drops the first pure ACK sent by
+// the client after a FIN has been seen from the other direction — the last
+// segment of the close handshake. Everything else passes untouched, so the
+// drop is deterministic regardless of the injector's RNG.
+type finalACKDropper struct {
+	client  view.IP4
+	finSeen bool
+	Dropped int
+}
+
+func (d *finalACKDropper) Drop(rng *rand.Rand, wire []byte) bool {
+	eth, err := view.Ethernet(wire)
+	if err != nil || eth.EtherType() != view.EtherTypeIPv4 {
+		return false
+	}
+	ip, err := view.IPv4(wire[view.EthernetHdrLen:])
+	if err != nil || ip.Proto() != view.IPProtoTCP {
+		return false
+	}
+	seg, err := view.TCP(wire[view.EthernetHdrLen+ip.HdrLen():])
+	if err != nil {
+		return false
+	}
+	if ip.Src() != d.client {
+		if seg.Flags()&view.TCPFin != 0 {
+			d.finSeen = true
+		}
+		return false
+	}
+	payload := ip.TotalLen() - ip.HdrLen() - seg.DataOff()
+	if d.Dropped == 0 && d.finSeen && payload == 0 && seg.Flags() == view.TCPAck {
+		d.Dropped++
+		return true
+	}
+	return false
+}
+
+func TestTimeWaitFinRetransmitRearms(t *testing.T) {
+	n, a, b, err := plexus.TwoHosts(7, netdev.EthernetModel(), spinSpec("a"), spinSpec("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &audit.AssertSink{}
+	chk := audit.NewChecker(sink)
+	a.TCP.SetAuditSink(chk)
+	b.TCP.SetAuditSink(chk)
+
+	drop := &finalACKDropper{client: a.Addr()}
+	fault.Attach(n.Sim, n.Link).Lose(drop)
+
+	var serverConn *plexus.TCPApp
+	if _, err := b.ListenTCP(80, plexus.TCPAppOptions{
+		OnRecv:    func(task *sim.Task, conn *plexus.TCPApp, data []byte) {},
+		OnPeerFin: func(task *sim.Task, conn *plexus.TCPApp) { conn.Close(task) },
+	}, func(task *sim.Task, conn *plexus.TCPApp) { serverConn = conn }); err != nil {
+		t.Fatal(err)
+	}
+	var clientConn *plexus.TCPApp
+	a.Spawn("client", func(task *sim.Task) {
+		clientConn, err = a.ConnectTCP(task, b.Addr(), 80, plexus.TCPAppOptions{
+			OnEstablished: func(t2 *sim.Task, conn *plexus.TCPApp) {
+				_ = conn.Send(t2, []byte("goodbye"))
+				conn.Close(t2)
+			},
+		})
+		if err != nil {
+			t.Errorf("connect: %v", err)
+		}
+	})
+
+	// 2·MSL is 60s and the re-arm adds one RTO on top; 300s is ample.
+	n.Sim.RunUntil(300 * sim.Second)
+
+	if drop.Dropped != 1 {
+		t.Fatalf("drop model fired %d times, want exactly 1", drop.Dropped)
+	}
+	if rexmits := b.TCP.Stats().Retransmits; rexmits == 0 {
+		t.Fatal("server never retransmitted its FIN after the final ACK was dropped")
+	}
+
+	// Reconstruct the close from the audit events: the client entered
+	// TIME-WAIT, the server was stranded in CLOSING until the retransmitted
+	// FIN drew a fresh ACK, and the client's 2·MSL restarted from that FIN —
+	// so its quiet period is strictly longer than a single 2·MSL.
+	var clientEnter, clientExit, serverTimeWait sim.Time = -1, -1, -1
+	for _, ev := range sink.Events {
+		switch {
+		case ev.Host == "a" && ev.New == tcp.StateTimeWait:
+			clientEnter = ev.At
+		case ev.Host == "a" && ev.Old == tcp.StateTimeWait && ev.New == tcp.StateClosed:
+			clientExit = ev.At
+		case ev.Host == "b" && ev.Old == tcp.StateClosing && ev.New == tcp.StateTimeWait:
+			serverTimeWait = ev.At
+		}
+	}
+	if clientEnter < 0 || clientExit < 0 {
+		t.Fatal("client never walked through TIME-WAIT")
+	}
+	if serverTimeWait < 0 {
+		t.Fatal("server never left CLOSING: its retransmitted FIN was not re-ACKed")
+	}
+	if serverTimeWait <= clientEnter {
+		t.Fatalf("server reached TIME-WAIT at %v, before the drop at the client's entry %v",
+			serverTimeWait, clientEnter)
+	}
+	if held := clientExit - clientEnter; held <= 2*tcp.MSL {
+		t.Fatalf("client TIME-WAIT held %v; a retransmitted FIN must re-arm past 2*MSL (%v)",
+			held, 2*tcp.MSL)
+	}
+
+	// Both ends still unwind completely, and the storm stayed conformant.
+	if clientConn == nil || serverConn == nil {
+		t.Fatal("connection endpoints missing")
+	}
+	if s := clientConn.State(); s != tcp.StateClosed {
+		t.Errorf("client finished in %v, want CLOSED", s)
+	}
+	if s := serverConn.State(); s != tcp.StateClosed {
+		t.Errorf("server finished in %v, want CLOSED", s)
+	}
+	if nc := a.TCP.NumConns() + b.TCP.NumConns(); nc != 0 {
+		t.Errorf("%d TCBs still pinned after the re-armed quiet period", nc)
+	}
+	if chk.ViolationCount() != 0 {
+		for _, v := range chk.Violations() {
+			t.Errorf("illegal transition %v->%v at %v: %s", v.Event.Old, v.Event.New, v.Event.At, v.Reason)
+		}
+	}
+}

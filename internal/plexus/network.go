@@ -8,6 +8,7 @@ import (
 	"plexus/internal/netdev"
 	"plexus/internal/osmodel"
 	"plexus/internal/sim"
+	"plexus/internal/tcp"
 	"plexus/internal/view"
 )
 
@@ -26,6 +27,8 @@ type HostSpec struct {
 	// Quarantine configures the host dispatcher's fault-ejection policy
 	// (zero value = disabled).
 	Quarantine event.QuarantinePolicy
+	// Audit receives every TCP state transition on this host (nil = off).
+	Audit tcp.TransitionSink
 }
 
 // Network is a set of hosts sharing one link — the paper's two-machine
@@ -55,6 +58,7 @@ func NewNetwork(seed int64, model netdev.Model, specs []HostSpec) (*Network, err
 			Costs:       spec.Costs,
 			Pool:        spec.Pool,
 			Quarantine:  spec.Quarantine,
+			Audit:       spec.Audit,
 		}
 		st, err := NewStack(s, spec.Name, cfg)
 		if err != nil {

@@ -52,6 +52,10 @@ type StackConfig struct {
 	// misbehaving handlers (zero value = disabled; faults are still
 	// counted in BindingStats).
 	Quarantine event.QuarantinePolicy
+	// Audit receives every TCP state transition on this host (nil = off).
+	// The canonical sinks and the RFC 793 conformance checker live in
+	// internal/audit.
+	Audit tcp.TransitionSink
 }
 
 // Stack is a fully assembled protocol graph on one host.
@@ -202,6 +206,7 @@ func NewStack(s *sim.Sim, name string, cfg StackConfig) (*Stack, error) {
 		Pool:             host.Pool,
 		Costs:            costs,
 		RequireEphemeral: false, // connection handlers are installed by the manager itself
+		Audit:            cfg.Audit,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("plexus: %w", err)

@@ -12,9 +12,13 @@ import (
 // State is a TCP connection state (RFC 793 §3.2).
 type State int
 
-// Connection states.
+// Connection states (RFC 793 §3.2). StateListen appears on passive opens:
+// the listener clones its LISTEN state into each new TCB, so the audited
+// lifecycle of an accepted connection is CLOSED→LISTEN→SYN-RECEIVED→…,
+// matching the RFC's state diagram verbatim.
 const (
 	StateClosed State = iota
+	StateListen
 	StateSynSent
 	StateSynRcvd
 	StateEstablished
@@ -24,11 +28,15 @@ const (
 	StateClosing
 	StateLastAck
 	StateTimeWait
+	// NumStates bounds fixed per-state tables (the conformance checker's
+	// legality matrix).
+	NumStates
 )
 
 var stateNames = [...]string{
-	"CLOSED", "SYN-SENT", "SYN-RECEIVED", "ESTABLISHED", "FIN-WAIT-1",
-	"FIN-WAIT-2", "CLOSE-WAIT", "CLOSING", "LAST-ACK", "TIME-WAIT",
+	"CLOSED", "LISTEN", "SYN-SENT", "SYN-RECEIVED", "ESTABLISHED",
+	"FIN-WAIT-1", "FIN-WAIT-2", "CLOSE-WAIT", "CLOSING", "LAST-ACK",
+	"TIME-WAIT",
 }
 
 func (s State) String() string {
@@ -48,8 +56,10 @@ const (
 	initialRTO = 1 * sim.Second
 	// delayedAckDelay is the standard 200ms delayed-ACK clock.
 	delayedAckDelay = 200 * sim.Millisecond
-	// msl is the maximum segment lifetime; TIME-WAIT lasts 2*msl.
-	msl = 30 * sim.Second
+	// MSL is the maximum segment lifetime; TIME-WAIT lasts 2*MSL. Exported
+	// so tests and tools can compute when a TIME-WAIT TCB must unwind.
+	MSL = 30 * sim.Second
+	msl = MSL
 	// defaultRcvWnd is the receive buffer/advertised window.
 	defaultRcvWnd = 64*1024 - 1
 	// dupThresh triggers fast retransmit.
@@ -227,7 +237,7 @@ func (m *Manager) Connect(t *sim.Task, dst view.IP4, dstPort uint16, opts ConnOp
 		return nil, err
 	}
 	c := m.newConn(port, dst, dstPort, opts)
-	c.state = StateSynSent
+	c.setState(StateSynSent, userCause(CauseConnect))
 	c.sendSYN(t)
 	return c, nil
 }
@@ -322,11 +332,11 @@ func (c *Conn) Close(t *sim.Task) {
 	c.finQueued = true
 	switch c.state {
 	case StateEstablished, StateSynRcvd:
-		c.state = StateFinWait1
+		c.setState(StateFinWait1, userCause(CauseClose))
 	case StateCloseWait:
-		c.state = StateLastAck
+		c.setState(StateLastAck, userCause(CauseClose))
 	case StateSynSent:
-		c.teardown(nil)
+		c.teardown(nil, userCause(CauseClose))
 		return
 	}
 	c.output(t)
@@ -339,7 +349,7 @@ func (c *Conn) Abort(t *sim.Task) {
 	}
 	c.mgr.stats.RSTsSent++
 	c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.snd.nxt, c.rcv.nxt, view.TCPRst|view.TCPAck, 0, nil)
-	c.teardown(ErrReset)
+	c.teardown(ErrReset, userCause(CauseAbort))
 }
 
 // usableWindow returns how many new bytes the windows currently permit.
@@ -501,7 +511,7 @@ func (c *Conn) onRexmitTimeout(t *sim.Task) {
 	case StateSynSent:
 		c.synRetries++
 		if c.synRetries > maxSynRetries {
-			c.teardown(fmt.Errorf("tcp: connect to %v:%d timed out", c.remoteAddr, c.remotePort))
+			c.teardown(fmt.Errorf("tcp: connect to %v:%d timed out", c.remoteAddr, c.remotePort), timerCause(CauseRTO))
 			return
 		}
 		c.stats.Retransmits++
@@ -511,7 +521,7 @@ func (c *Conn) onRexmitTimeout(t *sim.Task) {
 	case StateSynRcvd:
 		c.synRetries++
 		if c.synRetries > maxSynRetries {
-			c.teardown(fmt.Errorf("tcp: handshake with %v:%d timed out", c.remoteAddr, c.remotePort))
+			c.teardown(fmt.Errorf("tcp: handshake with %v:%d timed out", c.remoteAddr, c.remotePort), timerCause(CauseRTO))
 			return
 		}
 		c.stats.Retransmits++
@@ -574,14 +584,15 @@ func (c *Conn) retransmitOldest(t *sim.Task) uint32 {
 // --- teardown ---
 
 // teardown destroys the TCB: timers stopped, guard uninstalled, demux entry
-// removed. err is reported through OnClose (nil = orderly).
-func (c *Conn) teardown(err error) {
+// removed. err is reported through OnClose (nil = orderly); cause is what the
+// audit plane records for the final transition to CLOSED.
+func (c *Conn) teardown(err error, cause Cause) {
 	if c.dead {
 		return
 	}
 	c.dead = true
 	c.closedErr = err
-	c.state = StateClosed
+	c.setState(StateClosed, cause)
 	c.disarmRexmit()
 	c.ackTimer.Stop()
 	c.twTimer.Stop()
@@ -593,14 +604,21 @@ func (c *Conn) teardown(err error) {
 	}
 }
 
-// enterTimeWait schedules the final teardown after 2*MSL.
-func (c *Conn) enterTimeWait() {
-	c.state = StateTimeWait
+// enterTimeWait schedules the final teardown after 2*MSL. cause is the
+// segment that drove the transition into TIME-WAIT.
+func (c *Conn) enterTimeWait(cause Cause) {
+	c.setState(StateTimeWait, cause)
 	c.disarmRexmit()
+	c.rearmTimeWait()
+}
+
+// rearmTimeWait (re)starts the 2*MSL timer. A retransmitted FIN arriving in
+// TIME-WAIT restarts it (RFC 793 p.73); only its expiry may leave the state.
+func (c *Conn) rearmTimeWait() {
 	c.twTimer.Stop()
 	c.twTimer = c.mgr.sim.After(2*msl, "tcp-timewait", func() {
 		if !c.dead {
-			c.teardown(nil)
+			c.teardown(nil, timerCause(Cause2MSL))
 		}
 	})
 }

@@ -26,21 +26,30 @@ func (c *Conn) segArrives(t *sim.Task, pkt *mbuf.Mbuf) {
 	case StateSynSent:
 		c.synSentInput(t, s)
 		return
-	case StateClosed:
+	case StateClosed, StateListen:
+		return
+	case StateTimeWait:
+		c.timeWaitInput(t, s)
 		return
 	}
 
-	// 1. Sequence acceptability (RFC 793 p.69, simplified): the segment
-	// must overlap the receive window.
-	if !c.seqAcceptable(s) {
-		if s.flags&view.TCPRst == 0 {
-			c.sendACK(t)
+	// 1. RST validation (RFC 793 p.37, hardened against the blind-reset
+	// attacks RFC 5961 describes): a RST aborts the connection only when
+	// its sequence number falls inside the receive window. A stale or
+	// forged RST is counted and dropped — it must not assassinate a live
+	// connection.
+	if s.flags&view.TCPRst != 0 {
+		if c.rstAcceptable(s) {
+			c.teardown(ErrReset, segCause(s))
+		} else {
+			c.mgr.stats.RSTsRejected++
 		}
 		return
 	}
-	// 2. RST: destroy the connection.
-	if s.flags&view.TCPRst != 0 {
-		c.teardown(ErrReset)
+	// 2. Sequence acceptability (RFC 793 p.69, simplified): the segment
+	// must overlap the receive window.
+	if !c.seqAcceptable(s) {
+		c.sendACK(t)
 		return
 	}
 	// 3. SYN in the window: error, reset.
@@ -60,7 +69,7 @@ func (c *Conn) segArrives(t *sim.Task, pkt *mbuf.Mbuf) {
 	}
 	if c.state == StateSynRcvd {
 		if seqLE(c.snd.una, s.ack) && seqLE(s.ack, c.snd.nxt) {
-			c.establish(t)
+			c.establish(t, segCause(s))
 		} else {
 			c.mgr.stats.RSTsSent++
 			c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, s.ack, 0, view.TCPRst, 0, nil)
@@ -75,12 +84,16 @@ func (c *Conn) segArrives(t *sim.Task, pkt *mbuf.Mbuf) {
 	c.processText(t, s)
 }
 
-// synSentInput handles segments in SYN-SENT (active open).
+// synSentInput handles segments in SYN-SENT (active open). A RST here is
+// honoured only when its ACK acknowledges our SYN (RFC 793 p.37) — a blind
+// RST with a stale or missing ACK is counted and dropped.
 func (c *Conn) synSentInput(t *sim.Task, s seg) {
 	acceptableAck := false
 	if s.flags&view.TCPAck != 0 {
 		if seqLE(s.ack, c.snd.iss) || seqGT(s.ack, c.snd.nxt) {
-			if s.flags&view.TCPRst == 0 {
+			if s.flags&view.TCPRst != 0 {
+				c.mgr.stats.RSTsRejected++
+			} else {
 				c.mgr.stats.RSTsSent++
 				c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, s.ack, 0, view.TCPRst, 0, nil)
 			}
@@ -90,7 +103,9 @@ func (c *Conn) synSentInput(t *sim.Task, s seg) {
 	}
 	if s.flags&view.TCPRst != 0 {
 		if acceptableAck {
-			c.teardown(ErrReset)
+			c.teardown(ErrReset, segCause(s))
+		} else {
+			c.mgr.stats.RSTsRejected++
 		}
 		return
 	}
@@ -103,21 +118,58 @@ func (c *Conn) synSentInput(t *sim.Task, s seg) {
 	if acceptableAck {
 		c.snd.una = s.ack
 		c.sampleRTT(s.ack)
-		c.establish(t)
+		c.establish(t, segCause(s))
 		c.sendACK(t)
 		c.output(t)
 	} else {
 		// Simultaneous open.
-		c.state = StateSynRcvd
+		c.setState(StateSynRcvd, segCause(s))
 		c.sendSYNACK(t)
 	}
 }
 
+// timeWaitInput handles segments in TIME-WAIT. RSTs are ignored (RFC 1337's
+// TIME-WAIT assassination hazard: the state may only exit via the 2*MSL
+// timer — the conformance checker enforces exactly that); a retransmitted
+// FIN restarts the timer and is re-ACKed; any other old segment draws the
+// standing ACK.
+func (c *Conn) timeWaitInput(t *sim.Task, s seg) {
+	if s.flags&view.TCPRst != 0 {
+		c.mgr.stats.RSTsRejected++
+		return
+	}
+	if s.flags&view.TCPSyn != 0 {
+		return // a new incarnation must wait out the 2*MSL quiet time
+	}
+	if s.flags&view.TCPFin != 0 && seqLE(s.seq, c.rcv.nxt) {
+		// A retransmitted FIN: our ACK of it was lost. Re-ACK and restart
+		// the 2*MSL timer (RFC 793 p.73).
+		c.rearmTimeWait()
+		c.sendACK(t)
+		return
+	}
+	if !c.seqAcceptable(s) {
+		c.sendACK(t)
+	}
+	// In-window duplicate ACKs and old data draw no reply: both ends of a
+	// simultaneous close sit in TIME-WAIT, and answering every segment
+	// would have the two trade ACKs until the storm breaks the loop.
+}
+
+// rstAcceptable validates a RST's sequence number against the receive window
+// (RFC 793 p.37): only an in-window RST may abort the connection.
+func (c *Conn) rstAcceptable(s seg) bool {
+	if c.rcv.wnd == 0 {
+		return s.seq == c.rcv.nxt
+	}
+	return seqLE(c.rcv.nxt, s.seq) && seqLT(s.seq, c.rcv.nxt+c.rcv.wnd)
+}
+
 // establish transitions into ESTABLISHED and notifies the application (and,
 // for passive opens, the listener's accept function).
-func (c *Conn) establish(t *sim.Task) {
+func (c *Conn) establish(t *sim.Task, cause Cause) {
 	wasSynRcvd := c.state == StateSynRcvd
-	c.state = StateEstablished
+	c.setState(StateEstablished, cause)
 	c.disarmRexmit()
 	c.synRetries = 0
 	if wasSynRcvd && c.listener != nil && c.listener.accept != nil {
@@ -236,15 +288,15 @@ func (c *Conn) processAck(t *sim.Task, s seg) {
 	switch c.state {
 	case StateFinWait1:
 		if finAcked {
-			c.state = StateFinWait2
+			c.setState(StateFinWait2, segCause(s))
 		}
 	case StateClosing:
 		if finAcked {
-			c.enterTimeWait()
+			c.enterTimeWait(segCause(s))
 		}
 	case StateLastAck:
 		if finAcked {
-			c.teardown(nil)
+			c.teardown(nil, segCause(s))
 			return
 		}
 	}
@@ -294,10 +346,16 @@ func (c *Conn) processText(t *sim.Task, s seg) {
 	if fin {
 		c.rcv.nxt++ // the FIN occupies one sequence number
 	}
-	// Drain any contiguous out-of-order segments.
-	fin = c.drainOOO(t) || fin
-	if fin {
-		c.peerFin(t)
+	// Drain any contiguous out-of-order segments. A FIN consumed from the
+	// out-of-order buffer gets a synthesized segment cause: the original
+	// segment's flags are what drove the transition, not this one's.
+	finCause := segCause(s)
+	drainFin, drainSeq := c.drainOOO(t)
+	if drainFin && !fin {
+		finCause = Cause{Kind: CauseSegment, Flags: view.TCPFin | view.TCPAck, Seq: drainSeq, Ack: s.ack}
+	}
+	if fin || drainFin {
+		c.peerFin(t, finCause)
 		return
 	}
 	// ACK strategy: every second full segment immediately, else delayed.
@@ -348,9 +406,11 @@ func (c *Conn) bufferOOO(s seg) {
 }
 
 // drainOOO delivers buffered segments that have become contiguous; it
-// reports whether a buffered FIN was consumed.
-func (c *Conn) drainOOO(t *sim.Task) bool {
+// reports whether a buffered FIN was consumed and, if so, that FIN's
+// sequence number (for the audit cause).
+func (c *Conn) drainOOO(t *sim.Task) (bool, uint32) {
 	fin := false
+	var finSeq uint32
 	for len(c.ooo) > 0 {
 		o := c.ooo[0]
 		if seqGT(o.seq, c.rcv.nxt) {
@@ -370,25 +430,26 @@ func (c *Conn) drainOOO(t *sim.Task) bool {
 		if o.fin {
 			c.rcv.nxt++
 			fin = true
+			finSeq = o.seq
 		}
 	}
-	return fin
+	return fin, finSeq
 }
 
 // peerFin runs the state transitions for a received FIN and acks it.
-func (c *Conn) peerFin(t *sim.Task) {
+func (c *Conn) peerFin(t *sim.Task, cause Cause) {
 	if c.opts.OnPeerFin != nil {
 		c.opts.OnPeerFin(t, c)
 	}
 	switch c.state {
 	case StateEstablished:
-		c.state = StateCloseWait
+		c.setState(StateCloseWait, cause)
 	case StateFinWait1:
 		// Our FIN not yet acked: simultaneous close.
-		c.state = StateClosing
+		c.setState(StateClosing, cause)
 	case StateFinWait2:
 		c.sendACK(t)
-		c.enterTimeWait()
+		c.enterTimeWait(cause)
 		return
 	}
 	c.sendACK(t)

@@ -47,9 +47,13 @@ type Stats struct {
 	BadHeader   uint64
 	NoMatch     uint64 // segments for no connection (RST territory)
 	RSTsSent    uint64
-	Retransmits uint64
-	FastRexmits uint64
-	DelayedAcks uint64
+	// RSTsRejected counts RSTs dropped by sequence validation (RFC 793
+	// p.37): out-of-window in synchronized states, not acknowledging our
+	// SYN in SYN-SENT, or arriving in TIME-WAIT (RFC 1337).
+	RSTsRejected uint64
+	Retransmits  uint64
+	FastRexmits  uint64
+	DelayedAcks  uint64
 }
 
 // Manager is the TCP protocol manager for one host.
@@ -62,7 +66,7 @@ type Manager struct {
 	recvRef *event.Ref
 	cpu     *sim.CPU
 	pool    *mbuf.Pool
-	costs osmodel.Costs
+	costs   osmodel.Costs
 
 	listeners map[uint16]*Listener
 	conns     map[connKey]*Conn
@@ -74,6 +78,12 @@ type Manager struct {
 	nextPort uint16
 	issSeed  uint32
 	stats    Stats
+
+	// audit receives every connection state transition; hostName is the
+	// precomputed host label stamped into each event (never formatted on
+	// the emission path).
+	audit    TransitionSink
+	hostName string
 
 	requireEphemeral bool
 }
@@ -95,6 +105,9 @@ type Config struct {
 	Costs osmodel.Costs
 	// RequireEphemeral rejects non-EPHEMERAL connection handlers (§3.3).
 	RequireEphemeral bool
+	// Audit receives every connection state transition (nil = disabled;
+	// SetAuditSink can install one later).
+	Audit TransitionSink
 }
 
 // New creates the manager, declares TCP.PacketRecv, and installs the TCP
@@ -113,7 +126,11 @@ func New(cfg Config) (*Manager, error) {
 		claimed:          make(map[uint16]bool),
 		nextPort:         32768,
 		issSeed:          uint32(cfg.Sim.Rand().Int63()),
+		audit:            cfg.Audit,
 		requireEphemeral: cfg.RequireEphemeral,
+	}
+	if cfg.CPU != nil {
+		m.hostName = cfg.CPU.Name()
 	}
 	if err := cfg.Disp.Declare(RecvEvent, event.Options{RequireEphemeral: cfg.RequireEphemeral}); err != nil {
 		return nil, err
@@ -139,6 +156,10 @@ func New(cfg Config) (*Manager, error) {
 
 // Stats returns a snapshot of counters.
 func (m *Manager) Stats() Stats { return m.stats }
+
+// NumConns reports how many TCBs are live (any state before full teardown).
+// TIME-WAIT holds its slot — and its port — until the 2*MSL timer frees it.
+func (m *Manager) NumConns() int { return len(m.conns) }
 
 // Claim cedes a port to another TCP implementation in the graph: this
 // manager's guard stops matching segments to or from it. It fails if the
@@ -409,12 +430,15 @@ func (l *Listener) input(t *sim.Task, pkt *mbuf.Mbuf) {
 	if s.flags&view.TCPSyn == 0 {
 		return
 	}
-	// Passive open: create the connection in SYN-RECEIVED.
+	// Passive open: the new TCB inherits the listener's LISTEN state, then
+	// the SYN drives LISTEN → SYN-RECEIVED — the RFC 793 §3.2 path, taken
+	// verbatim so the conformance table can require it.
 	c := l.mgr.newConn(l.port, s.src, s.srcPort, l.opts)
 	c.listener = l
-	c.state = StateSynRcvd
+	c.setState(StateListen, userCause(CauseListen))
 	c.rcv.irs = s.seq
 	c.rcv.nxt = s.seq + 1
 	c.snd.wnd = s.wnd
+	c.setState(StateSynRcvd, segCause(s))
 	c.sendSYNACK(t)
 }
