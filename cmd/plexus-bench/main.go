@@ -32,13 +32,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all | fig5 | tput | fig6 | fig7 | http | latency | loss | rogue | scale | fabric | ablations")
+	exp := flag.String("exp", "all", "experiment: all | fig5 | tput | fig6 | fig7 | http | latency | loss | rogue | scale | fabric | ablations | telemetry")
 	fast := flag.Bool("fastdriver", false, "use the faster device driver variant (§4.1)")
 	size := flag.Int("size", 1<<20, "bulk transfer size in bytes for -exp tput")
 	parallel := flag.Int("parallel", 0, "experiment cells run concurrently (0 = GOMAXPROCS, 1 = sequential)")
 	shards := flag.Int("shards", 1, "shard worker goroutines per sharded scale cell (rows identical at any value)")
 	hosts := flag.String("hosts", "1000,10000,50000", "comma-separated host counts for the sharded scale cells (\"\" = none)")
 	jsonOut := flag.Bool("json", false, "write BENCH_<exp>.json with rows, wall-clock, events/sec, allocs/event")
+	telemetryOut := flag.String("telemetry", "", "write the telemetry sweep's raw JSONL series to this path (determinism witness; implies running -exp telemetry's cells)")
 	flag.Parse()
 
 	bench.SetParallelism(*parallel)
@@ -100,6 +101,28 @@ func main() {
 	run("scale", func() (any, error) { return scale(hostCounts) })
 	run("fabric", fabricExp)
 	run("ablations", ablations)
+	run("telemetry", telemetryExp)
+
+	if *telemetryOut != "" {
+		if err := writeTelemetryDump(*telemetryOut); err != nil {
+			fmt.Fprintf(os.Stderr, "plexus-bench: -telemetry: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTelemetryDump re-runs the telemetry cells and writes their raw JSONL
+// series — the artifact CI diffs across -parallel/-shards settings.
+func writeTelemetryDump(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := bench.TelemetryDump(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // parseCounts parses a comma-separated list of positive integers; empty
@@ -328,6 +351,22 @@ func fabricExp() (any, error) {
 			r.Rate, r.PoolSize, r.Clients, r.Ops, r.GoodputMbps,
 			r.P50.Micros(), r.P99.Micros(), r.Retries, r.Skew,
 			r.NATOccupancy, split, r.PipeDrops, r.Events)
+	}
+	return rows, w.Flush()
+}
+
+func telemetryExp() (any, error) {
+	header("Telemetry: whole-system 1ms sampling — coverage, determinism digest, conformance gauges")
+	rows, err := bench.Telemetry()
+	if err != nil {
+		return nil, err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "system\tworkload\tshards\tseries\tpoints\tticks\tdigest\talarms\tRSTs rej\tTW rearms\tTW quiet drops")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%d\t%s\t%d\t%d\t%d\t%d\n",
+			r.System, r.Workload, r.Shards, r.Series, r.Points, r.Ticks, r.Digest, r.Alarms,
+			r.TCP.RSTsRejected, r.TCP.TimeWaitRearms, r.TCP.TimeWaitQuietDrops)
 	}
 	return rows, w.Flush()
 }

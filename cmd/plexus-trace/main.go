@@ -12,7 +12,9 @@
 //	plexus-trace -only net,proto      # filter categories (cpu,net,proto,app,event)
 //	plexus-trace -spans               # list packet lifecycle spans
 //	plexus-trace -follow 3            # one packet's full itinerary, per-hop deltas
-//	plexus-trace -chrome out.json     # Chrome trace_event profile (Perfetto)
+//	plexus-trace -chrome out.json     # Chrome trace_event profile (Perfetto):
+//	                                  # CPU slices + telemetry counter tracks
+//	                                  # + TCP state-transition instants
 //	plexus-trace -folded out.txt      # folded-stacks CPU profile
 //	plexus-trace -scenario tcp -tcpstates all
 //	                                  # audited TCP state transitions + RFC 793 verdict
@@ -37,6 +39,7 @@ import (
 	"plexus/internal/sim"
 	"plexus/internal/stats"
 	"plexus/internal/tcp"
+	"plexus/internal/telemetry"
 	"plexus/internal/view"
 )
 
@@ -86,11 +89,14 @@ func main() {
 	// The TCP conformance-audit plane: an assertion sink retains every state
 	// transition, the checker screens each against RFC 793, and the optional
 	// JSONL sink writes the deterministic offline form. One shared pipeline
-	// serves both hosts, so events interleave in simulated-time order.
+	// serves both hosts, so events interleave in simulated-time order. The
+	// Chrome export adds a flight-recorder ring whose retained transitions
+	// become instant events on each host's "states" track.
 	var events *audit.AssertSink
 	var checker *audit.Checker
 	var jsonlFile *os.File
-	if *tcpstates != "" || *tcpjsonl != "" {
+	var ring *audit.RingSink
+	if *tcpstates != "" || *tcpjsonl != "" || *chrome != "" {
 		events = &audit.AssertSink{}
 		sinks := audit.Tee{events}
 		if *tcpjsonl != "" {
@@ -102,9 +108,29 @@ func main() {
 			jsonlFile = f
 			sinks = append(sinks, audit.NewJSONLSink(f))
 		}
+		if *chrome != "" {
+			ring = audit.NewRingSink(4096)
+			sinks = append(sinks, ring)
+		}
 		checker = audit.NewChecker(sinks)
 		client.TCP.SetAuditSink(checker)
 		server.TCP.SetAuditSink(checker)
+	}
+
+	// The Chrome export also samples the whole system while the scenario
+	// runs — link, pools, per-connection TCP, event queue — for counter
+	// tracks beside the CPU profile. The sampling engine keeps the simulator
+	// non-empty, so the run is horizon-bound instead of drain-bound: a 2s
+	// horizon covers every scenario's activity and keeps the rings (2048
+	// points at 1ms) from overwriting it with idle tail.
+	var eng *telemetry.Engine
+	horizon := 120 * sim.Second
+	if *chrome != "" {
+		eng = net.Monitor(plexus.MonitorOptions{
+			Telemetry: telemetry.Options{Interval: sim.Millisecond},
+			PoolCap:   1 << 20,
+		})
+		horizon = 2 * sim.Second
 	}
 
 	switch *scenario {
@@ -168,7 +194,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "plexus-trace:", err)
 		os.Exit(1)
 	}
-	net.Sim.RunUntil(120 * sim.Second)
+	net.Sim.RunUntil(horizon)
 
 	if *chrome != "" {
 		f, err := os.Create(*chrome)
@@ -176,7 +202,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "plexus-trace:", err)
 			os.Exit(1)
 		}
-		if err := metrics.WriteChromeTrace(f); err == nil {
+		counters := telemetry.ChromeCounters(eng)
+		instants := audit.ChromeInstants(ring)
+		if err := metrics.WriteChromeTraceWith(f, counters, instants); err == nil {
 			err = f.Close()
 		} else {
 			f.Close()
@@ -185,8 +213,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "plexus-trace:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote Chrome trace (%d samples, %d hops) to %s — open at ui.perfetto.dev\n",
-			metrics.SamplesRecorded(), metrics.HopsRecorded(), *chrome)
+		fmt.Printf("wrote Chrome trace (%d samples, %d hops, %d counter points, %d state instants) to %s — open at ui.perfetto.dev\n",
+			metrics.SamplesRecorded(), metrics.HopsRecorded(), len(counters), len(instants), *chrome)
 	}
 	if *folded != "" {
 		if err := os.WriteFile(*folded, []byte(metrics.Folded()), 0o644); err != nil {

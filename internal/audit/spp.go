@@ -1,0 +1,90 @@
+package audit
+
+// The SPP legality table and checker: the seqpkt counterpart of checker.go.
+// SPP's machine is a per-datagram transfer lifecycle, so the table is small —
+// Unsent→Sent on first transmission, a Sent→Sent retry self-loop, and one
+// terminal edge each for acknowledgment, retry exhaustion, and endpoint
+// close — but the discipline is identical: every emitted transition must
+// match an (edge, cause) pair or the run is in violation.
+
+import (
+	"fmt"
+
+	"plexus/internal/seqpkt"
+)
+
+// sppLegal is the transfer-lifecycle diagram, indexed [old][new], each entry
+// listing the cause strings that may drive that edge.
+var sppLegal = func() [seqpkt.NumXferStates][seqpkt.NumXferStates][]string {
+	var t [seqpkt.NumXferStates][seqpkt.NumXferStates][]string
+	t[seqpkt.XferUnsent][seqpkt.XferSent] = []string{seqpkt.CauseSend}
+	t[seqpkt.XferSent][seqpkt.XferSent] = []string{seqpkt.CauseRexmit}
+	t[seqpkt.XferSent][seqpkt.XferAcked] = []string{seqpkt.CauseAck}
+	t[seqpkt.XferSent][seqpkt.XferAbandoned] = []string{seqpkt.CauseRetryCap}
+	t[seqpkt.XferSent][seqpkt.XferCancelled] = []string{seqpkt.CauseClose}
+	return t
+}()
+
+// SPPLegal reports whether the transfer-lifecycle edge old→new driven by
+// cause is permitted; when not, reason says why.
+func SPPLegal(old, new seqpkt.XferState, cause string) (ok bool, reason string) {
+	if old >= seqpkt.NumXferStates || new >= seqpkt.NumXferStates {
+		return false, fmt.Sprintf("unknown state in edge %v->%v", old, new)
+	}
+	causes := sppLegal[old][new]
+	if len(causes) == 0 {
+		return false, fmt.Sprintf("no legal edge %v->%v in SPP transfer lifecycle (cause %q)", old, new, cause)
+	}
+	for _, c := range causes {
+		if cause == c {
+			return true, ""
+		}
+	}
+	return false, fmt.Sprintf("edge %v->%v not legal for cause %q", old, new, cause)
+}
+
+// SPPViolation is an illegal SPP transition retained with its event context.
+type SPPViolation struct {
+	Event  seqpkt.Transition
+	Reason string
+}
+
+// SPPChecker is a pass-through seqpkt.TransitionSink validating every event
+// against the transfer-lifecycle table, the same standing-invariant role
+// Checker plays for TCP.
+type SPPChecker struct {
+	next       seqpkt.TransitionSink
+	events     uint64
+	violations uint64
+	retained   []SPPViolation
+}
+
+// NewSPPChecker returns an SPPChecker forwarding to next (which may be nil).
+func NewSPPChecker(next seqpkt.TransitionSink) *SPPChecker {
+	return &SPPChecker{next: next, retained: make([]SPPViolation, 0, maxViolations)}
+}
+
+// Transition implements seqpkt.TransitionSink.
+func (c *SPPChecker) Transition(ev seqpkt.Transition) {
+	c.events++
+	if ok, reason := SPPLegal(ev.Old, ev.New, ev.Cause); !ok {
+		c.violations++
+		if len(c.retained) < cap(c.retained) {
+			c.retained = append(c.retained, SPPViolation{Event: ev, Reason: reason})
+		}
+	}
+	if c.next != nil {
+		c.next.Transition(ev)
+	}
+}
+
+// Events returns how many transitions the checker has seen.
+func (c *SPPChecker) Events() uint64 { return c.events }
+
+// ViolationCount returns how many illegal transitions were seen.
+func (c *SPPChecker) ViolationCount() uint64 { return c.violations }
+
+// Violations returns the retained violations (first maxViolations).
+func (c *SPPChecker) Violations() []SPPViolation { return c.retained }
+
+var _ seqpkt.TransitionSink = (*SPPChecker)(nil)

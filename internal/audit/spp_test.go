@@ -1,0 +1,93 @@
+package audit
+
+import (
+	"testing"
+
+	"plexus/internal/seqpkt"
+	"plexus/internal/sim"
+	"plexus/internal/view"
+)
+
+func sppEv(old, new seqpkt.XferState, cause string) seqpkt.Transition {
+	return seqpkt.Transition{
+		At:       sim.Time(2500),
+		Host:     "hostA",
+		Port:     41,
+		Peer:     view.IP4{10, 0, 0, 2},
+		PeerPort: 40,
+		Seq:      7,
+		Old:      old,
+		New:      new,
+		Cause:    cause,
+	}
+}
+
+func TestSPPLegalTable(t *testing.T) {
+	legalCases := []struct {
+		old, new seqpkt.XferState
+		cause    string
+	}{
+		{seqpkt.XferUnsent, seqpkt.XferSent, seqpkt.CauseSend},
+		{seqpkt.XferSent, seqpkt.XferSent, seqpkt.CauseRexmit},
+		{seqpkt.XferSent, seqpkt.XferAcked, seqpkt.CauseAck},
+		{seqpkt.XferSent, seqpkt.XferAbandoned, seqpkt.CauseRetryCap},
+		{seqpkt.XferSent, seqpkt.XferCancelled, seqpkt.CauseClose},
+	}
+	for _, c := range legalCases {
+		if ok, reason := SPPLegal(c.old, c.new, c.cause); !ok {
+			t.Errorf("%v->%v via %q should be legal: %s", c.old, c.new, c.cause, reason)
+		}
+	}
+	illegalCases := []struct {
+		old, new seqpkt.XferState
+		cause    string
+	}{
+		// Wrong cause on a real edge.
+		{seqpkt.XferUnsent, seqpkt.XferSent, seqpkt.CauseRexmit},
+		{seqpkt.XferSent, seqpkt.XferAcked, seqpkt.CauseSend},
+		{seqpkt.XferSent, seqpkt.XferSent, seqpkt.CauseSend},
+		// Edges the lifecycle has no arrow for.
+		{seqpkt.XferAcked, seqpkt.XferSent, seqpkt.CauseSend},
+		{seqpkt.XferAbandoned, seqpkt.XferAcked, seqpkt.CauseAck},
+		{seqpkt.XferUnsent, seqpkt.XferAcked, seqpkt.CauseAck},
+		{seqpkt.XferCancelled, seqpkt.XferSent, seqpkt.CauseRexmit},
+	}
+	for _, c := range illegalCases {
+		if ok, _ := SPPLegal(c.old, c.new, c.cause); ok {
+			t.Errorf("%v->%v via %q should be illegal", c.old, c.new, c.cause)
+		}
+	}
+}
+
+func TestSPPCheckerCountsAndRetains(t *testing.T) {
+	c := NewSPPChecker(nil)
+	c.Transition(sppEv(seqpkt.XferUnsent, seqpkt.XferSent, seqpkt.CauseSend))
+	c.Transition(sppEv(seqpkt.XferSent, seqpkt.XferSent, seqpkt.CauseRexmit))
+	c.Transition(sppEv(seqpkt.XferSent, seqpkt.XferAcked, seqpkt.CauseAck))
+	if c.Events() != 3 || c.ViolationCount() != 0 {
+		t.Fatalf("clean path: events=%d violations=%d", c.Events(), c.ViolationCount())
+	}
+	bad := sppEv(seqpkt.XferAcked, seqpkt.XferSent, seqpkt.CauseRexmit)
+	c.Transition(bad)
+	if c.ViolationCount() != 1 || len(c.Violations()) != 1 {
+		t.Fatalf("violation not retained: count=%d retained=%d", c.ViolationCount(), len(c.Violations()))
+	}
+	if v := c.Violations()[0]; v.Event != bad || v.Reason == "" {
+		t.Fatalf("retained violation: %+v", v)
+	}
+}
+
+// sppRecorder retains every transition, to assert full lifecycles.
+type sppRecorder struct{ evs []seqpkt.Transition }
+
+func (r *sppRecorder) Transition(ev seqpkt.Transition) { r.evs = append(r.evs, ev) }
+
+func TestSPPCheckerForwardsDownstream(t *testing.T) {
+	rec := &sppRecorder{}
+	c := NewSPPChecker(rec)
+	c.Transition(sppEv(seqpkt.XferUnsent, seqpkt.XferSent, seqpkt.CauseSend))
+	c.Transition(sppEv(seqpkt.XferSent, seqpkt.XferAcked, seqpkt.CauseAck))
+	if len(rec.evs) != 2 {
+		t.Fatalf("downstream saw %d events, want 2", len(rec.evs))
+	}
+}

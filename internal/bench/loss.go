@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"plexus/internal/event"
 	"plexus/internal/fault"
 	"plexus/internal/httpx"
 	"plexus/internal/netdev"
@@ -57,6 +58,23 @@ type LossRow struct {
 	// the cell to produce a row at all (a violation fails the sweep).
 	AuditTransitions uint64 `json:"audit_transitions"`
 	AuditViolations  uint64 `json:"audit_violations"`
+
+	// TCP is the transports' conformance gauge summed over both hosts —
+	// rejected RSTs and TIME-WAIT quiet-period activity — read through the
+	// same dispatcher Health snapshot the monitoring plane scrapes.
+	TCP event.TCPGauge `json:"tcp"`
+}
+
+// tcpGauge sums the dispatcher Health TCP gauge over a rig's hosts.
+func tcpGauge(hosts ...*plexus.Stack) event.TCPGauge {
+	var g event.TCPGauge
+	for _, h := range hosts {
+		hg := h.Host.Disp.Health().TCP
+		g.RSTsRejected += hg.RSTsRejected
+		g.TimeWaitRearms += hg.TimeWaitRearms
+		g.TimeWaitQuietDrops += hg.TimeWaitQuietDrops
+	}
+	return g
 }
 
 // lossModel builds the drop model for one (pattern, rate) cell.
@@ -127,6 +145,7 @@ func lossTCPBulk(sys System, pattern string, rate float64, size int) (LossRow, e
 		LinkDropped:      n.Link.Dropped(),
 		AuditTransitions: aud.transitions(),
 		AuditViolations:  aud.violations(),
+		TCP:              tcpGauge(client, server),
 	}
 	if got > 0 && last > first {
 		row.GoodputMbps = float64(got) * 8 / (last - first).Seconds() / 1e6
@@ -199,6 +218,7 @@ func lossSPPStream(sys System, pattern string, rate float64, msgs, msgSize int) 
 		LinkDropped:      n.Link.Dropped(),
 		AuditTransitions: aud.transitions(),
 		AuditViolations:  aud.violations(),
+		TCP:              tcpGauge(client, server),
 	}
 	if len(lats) > 0 {
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
@@ -244,6 +264,7 @@ func lossHTTP(sys System, pattern string, rate float64, reqs int) (LossRow, erro
 		LinkDropped:      n.Link.Dropped(),
 		AuditTransitions: aud.transitions(),
 		AuditViolations:  aud.violations(),
+		TCP:              tcpGauge(client, server),
 	}
 	if len(lats) > 0 {
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })

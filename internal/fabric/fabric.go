@@ -271,6 +271,16 @@ func (pl *Pipeline) Snapshot() []RuleStats {
 	return out
 }
 
+// EachRule calls fn for every rule in table order — the allocation-free
+// traversal the telemetry probe samples hit counters through.
+func (pl *Pipeline) EachRule(fn func(table, rule string, hits, faults uint64, quarantined bool)) {
+	for _, tb := range pl.tables {
+		for _, r := range tb.rules {
+			fn(tb.name, r.name, r.hits, r.faults, r.quarantined)
+		}
+	}
+}
+
 // Exec runs the pipeline over p and returns the final verdict (Accept when
 // no rule decided otherwise). When t is non-nil the execution cost is
 // charged through ChargeProf under ProfFabric; otherwise it accumulates in

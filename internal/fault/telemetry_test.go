@@ -1,0 +1,216 @@
+// Telemetry watchdogs under real faults: a blackholed reverse path must make
+// the no-progress alarm fire with the stalled flow's identity and a correct
+// simulated-time window, and the SPP transition audit must stay legal while
+// retransmission and abandonment run their course.
+package fault_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"plexus/internal/audit"
+	"plexus/internal/fault"
+	"plexus/internal/netdev"
+	"plexus/internal/plexus"
+	"plexus/internal/seqpkt"
+	"plexus/internal/sim"
+	"plexus/internal/telemetry"
+	"plexus/internal/view"
+)
+
+// blackholeFrom drops every frame sourced from one IP once the simulated
+// clock passes After — a deterministic mid-transfer fiber cut in one
+// direction. Data keeps flowing forward; acknowledgments stop coming back.
+type blackholeFrom struct {
+	sim     *sim.Sim
+	src     view.IP4
+	after   sim.Time
+	Dropped int
+}
+
+func (d *blackholeFrom) Drop(rng *rand.Rand, wire []byte) bool {
+	if d.sim.Now() < d.after {
+		return false
+	}
+	eth, err := view.Ethernet(wire)
+	if err != nil || eth.EtherType() != view.EtherTypeIPv4 {
+		return false
+	}
+	ip, err := view.IPv4(wire[view.EthernetHdrLen:])
+	if err != nil || ip.Src() != d.src {
+		return false
+	}
+	d.Dropped++
+	return true
+}
+
+func TestNoProgressWatchdogFiresOnStalledTransfer(t *testing.T) {
+	const (
+		cutAt       = 50 * sim.Millisecond // mid-flight: the full transfer needs ~1s of wire time
+		stallWindow = 2 * sim.Second
+	)
+	n, a, b, err := plexus.TwoHosts(7, netdev.EthernetModel(), spinSpec("a"), spinSpec("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := n.Monitor(plexus.MonitorOptions{
+		Telemetry:      telemetry.Options{Interval: sim.Millisecond},
+		TCPStallWindow: stallWindow,
+	})
+	cut := &blackholeFrom{sim: n.Sim, src: b.Addr(), after: cutAt}
+	fault.Attach(n.Sim, n.Link).Lose(cut)
+
+	got := 0
+	if _, err := b.ListenTCP(5001, plexus.TCPAppOptions{
+		OnRecv:    func(task *sim.Task, conn *plexus.TCPApp, data []byte) { got += len(data) },
+		OnPeerFin: func(task *sim.Task, conn *plexus.TCPApp) { conn.Close(task) },
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]byte, 1<<20) // big enough to still be mid-flight at the cut
+	a.Spawn("sender", func(task *sim.Task) {
+		_, _ = a.ConnectTCP(task, b.Addr(), 5001, plexus.TCPAppOptions{
+			OnEstablished: func(t2 *sim.Task, conn *plexus.TCPApp) {
+				_ = conn.Send(t2, msg)
+				conn.Close(t2)
+			},
+		})
+	})
+	n.Sim.RunUntil(20 * sim.Second)
+
+	if cut.Dropped == 0 {
+		t.Fatal("the cut never dropped a frame — transfer finished before it engaged")
+	}
+	if got >= len(msg) {
+		t.Fatal("transfer completed despite the blackholed reverse path")
+	}
+	if eng.AlarmTotal() == 0 {
+		t.Fatal("stalled transfer raised no watchdog alarm")
+	}
+	var alarm *telemetry.Alarm
+	for i := range eng.Alarms() {
+		if eng.Alarms()[i].Rule == "tcp.no_progress" {
+			alarm = &eng.Alarms()[i]
+			break
+		}
+	}
+	if alarm == nil {
+		t.Fatalf("no tcp.no_progress alarm among %+v", eng.Alarms())
+	}
+	if alarm.Kind != telemetry.RuleNoProgress {
+		t.Fatalf("alarm kind %v", alarm.Kind)
+	}
+	// Flow identity: the sender's connection to b:5001, on host a.
+	if !strings.Contains(alarm.Series, "host=a") ||
+		!strings.Contains(alarm.Series, "-10.0.0.2:5001") ||
+		!strings.Contains(alarm.Series, "tcp.acked_bytes") {
+		t.Fatalf("alarm series lacks flow identity: %q", alarm.Series)
+	}
+	// Timing: progress froze at the cut, so the episode starts within one
+	// sampling interval after it and the alarm fires one stall window later.
+	if alarm.Since < cutAt || alarm.Since > cutAt+100*sim.Millisecond {
+		t.Fatalf("alarm since %v, want within 100ms after the cut at %v", alarm.Since, cutAt)
+	}
+	if lapse := alarm.At - alarm.Since; lapse < stallWindow || lapse > stallWindow+10*sim.Millisecond {
+		t.Fatalf("alarm window %v, want ~%v", lapse, stallWindow)
+	}
+}
+
+// sppSink retains SPP transitions for lifecycle assertions.
+type sppSink struct{ evs []seqpkt.Transition }
+
+func (s *sppSink) Transition(ev seqpkt.Transition) { s.evs = append(s.evs, ev) }
+
+func installSPP(st *plexus.Stack) (*seqpkt.Manager, error) {
+	return seqpkt.Install(seqpkt.Config{
+		Sim:              st.Host.Sim,
+		IP:               st.IP,
+		Disp:             st.Host.Disp,
+		Raise:            st.Raiser(),
+		CPU:              st.Host.CPU,
+		Pool:             st.Host.Pool,
+		Costs:            st.Host.Costs,
+		RequireEphemeral: st.InterruptMode(),
+	})
+}
+
+func TestSPPTransitionAuditUnderTotalLoss(t *testing.T) {
+	n, a, b, err := plexus.TwoHosts(9, netdev.EthernetModel(), spinSpec("a"), spinSpec("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, err := installSPP(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := installSPP(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &sppSink{}
+	chk := audit.NewSPPChecker(sink)
+	ma.SetAuditSink(chk)
+
+	if _, err := mb.Open(40, nil); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := ma.Open(41, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1, clean link: one send must walk Unsent→Sent→Acked.
+	a.Spawn("send-clean", func(task *sim.Task) {
+		_, _ = tx.Send(task, b.Addr(), 40, []byte("one"))
+	})
+	n.Sim.RunUntil(1 * sim.Second)
+
+	// Phase 2, total loss: the next send retransmits up to the cap and is
+	// abandoned — Unsent→Sent, (MaxRexmits-1)×Sent→Sent, Sent→Abandoned.
+	fault.Attach(n.Sim, n.Link).Lose(fault.Bernoulli{P: 1})
+	a.Spawn("send-lost", func(task *sim.Task) {
+		_, _ = tx.Send(task, b.Addr(), 40, []byte("two"))
+	})
+	n.Sim.RunUntil(1*sim.Second + sim.Time(seqpkt.MaxRexmits+2)*seqpkt.RexmitTimeout)
+
+	// Phase 3: a final send is still pending when the endpoint closes —
+	// Sent→Cancelled.
+	a.Spawn("send-cancelled", func(task *sim.Task) {
+		_, _ = tx.Send(task, b.Addr(), 40, []byte("three"))
+	})
+	n.Sim.RunUntil(n.Sim.Now() + 100*sim.Millisecond)
+	tx.Close()
+	n.Sim.RunUntil(n.Sim.Now() + 100*sim.Millisecond)
+
+	if chk.ViolationCount() != 0 {
+		for _, v := range chk.Violations() {
+			t.Errorf("illegal SPP transition %v->%v via %q: %s", v.Event.Old, v.Event.New, v.Event.Cause, v.Reason)
+		}
+	}
+	terminal := map[uint32]seqpkt.XferState{}
+	rexmits := 0
+	for _, ev := range sink.evs {
+		if ev.Host != "a" || ev.Port != 41 || ev.PeerPort != 40 {
+			t.Fatalf("transition with wrong endpoint identity: %+v", ev)
+		}
+		if ev.Old == seqpkt.XferSent && ev.New == seqpkt.XferSent {
+			rexmits++
+		}
+		if ev.New != seqpkt.XferSent {
+			terminal[ev.Seq] = ev.New
+		}
+	}
+	if terminal[1] != seqpkt.XferAcked {
+		t.Errorf("seq 1 ended %v, want Acked", terminal[1])
+	}
+	if terminal[2] != seqpkt.XferAbandoned {
+		t.Errorf("seq 2 ended %v, want Abandoned", terminal[2])
+	}
+	if terminal[3] != seqpkt.XferCancelled {
+		t.Errorf("seq 3 ended %v, want Cancelled", terminal[3])
+	}
+	if rexmits != seqpkt.MaxRexmits-1 {
+		t.Errorf("observed %d rexmit self-loops, want %d", rexmits, seqpkt.MaxRexmits-1)
+	}
+}

@@ -129,6 +129,7 @@ type Link struct {
 	busyUntil sim.Time
 	frames    uint64
 	bytes     uint64
+	busy      sim.Time
 	dropped   uint64
 	// up is the carrier state: a down link (cable pulled, switch port
 	// flapped) silently discards every frame offered to it.
@@ -250,6 +251,11 @@ func (l *Link) Frames() uint64 { return l.frames }
 
 // Bytes reports how many frame bytes crossed the link.
 func (l *Link) Bytes() uint64 { return l.bytes }
+
+// BusyTime reports the accumulated serialization time of every frame that
+// crossed the link — utilization over a window is the busy-time delta over
+// the window length.
+func (l *Link) BusyTime() sim.Time { return l.busy }
 
 // NICStats counts per-device activity.
 type NICStats struct {
@@ -402,6 +408,7 @@ func (n *NIC) Transmit(t *sim.Task, m *mbuf.Mbuf) error {
 	ser := n.model.serialization(size)
 	depart := start + ser
 	n.link.busyUntil = depart
+	n.link.busy += ser
 	arrival := depart + n.model.PropDelay
 	n.link.frames++
 	n.link.bytes += uint64(size)

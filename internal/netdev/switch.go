@@ -202,6 +202,22 @@ func (p *Port) SetEgressPipeline(pipe PortPipeline) { p.outPipe = pipe }
 // congestion signal.
 func (sw *Switch) QueueDrops() uint64 { return sw.stats.Dropped }
 
+// QueueCap returns the per-port output queue bound in frames.
+func (sw *Switch) QueueCap() int { return sw.qcap }
+
+// QueueDepth reports how many frames sit in the port's output queue at now —
+// scheduled departures still in the future. Read-only (the enqueue path owns
+// ring compaction), so the telemetry probe can sample it at any instant.
+func (p *Port) QueueDepth(now sim.Time) int {
+	n := 0
+	for i := p.head; i < len(p.departs); i++ {
+		if p.departs[i] > now {
+			n++
+		}
+	}
+	return n
+}
+
 // deliverAt implements attachment: the frame's last bit lands on the ingress
 // port at time at; processing (learning, lookup, enqueue) happens then.
 func (p *Port) deliverAt(at sim.Time, f *frame) {
@@ -339,8 +355,10 @@ func (p *Port) enqueue(now sim.Time, f *frame) {
 	if p.busyUntil > start {
 		start = p.busyUntil
 	}
-	depart := start + p.model.serialization(size)
+	ser := p.model.serialization(size)
+	depart := start + ser
 	p.busyUntil = depart
+	p.link.busy += ser
 	if p.head > 0 && len(p.departs) == cap(p.departs) {
 		// Compact in place instead of growing: bounded queues must not
 		// accumulate retired slots under sustained overload.

@@ -211,6 +211,7 @@ func NewStack(s *sim.Sim, name string, cfg StackConfig) (*Stack, error) {
 	if err != nil {
 		return nil, fmt.Errorf("plexus: %w", err)
 	}
+	tcpm.AttachHealth(host.Disp)
 	st := &Stack{
 		Host:   host,
 		NIC:    nic,

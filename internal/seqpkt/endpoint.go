@@ -21,6 +21,8 @@ type pendingSend struct {
 	payload []byte
 	tries   int
 	timer   sim.Timer
+	// state is written only through Endpoint.setState (audit.go).
+	state XferState
 }
 
 // peerKey identifies a remote endpoint.
@@ -104,6 +106,7 @@ func (e *Endpoint) Close() {
 	e.closed = true
 	for _, p := range e.pending {
 		p.timer.Stop()
+		e.setState(p, XferCancelled, CauseClose)
 	}
 	e.mgr.disp.Uninstall(e.binding)
 	delete(e.mgr.ports, e.port)
@@ -126,6 +129,7 @@ func (e *Endpoint) Send(t *sim.Task, dst view.IP4, dstPort uint16, payload []byt
 	e.pending[seq] = p
 	e.stats.Sent++
 	e.mgr.stats.DataSent++
+	e.setState(p, XferSent, CauseSend)
 	if err := e.mgr.send(t, e.port, dst, dstPort, typeData, seq, p.payload); err != nil {
 		return seq, err
 	}
@@ -154,10 +158,12 @@ func (e *Endpoint) armRexmit(p *pendingSend) {
 				delete(e.pending, p.seq)
 				e.stats.Abandoned++
 				e.mgr.stats.Abandoned++
+				e.setState(p, XferAbandoned, CauseRetryCap)
 				return
 			}
 			e.stats.Retransmits++
 			e.mgr.stats.Retransmits++
+			e.setState(p, XferSent, CauseRexmit)
 			if err := e.mgr.send(task, e.port, p.dst, p.dstPort, typeData, p.seq, p.payload); err != nil {
 				e.mgr.sim.Tracef(sim.TraceProto, "seqpkt: rexmit failed: %v", err)
 			}
@@ -180,6 +186,7 @@ func (e *Endpoint) deliver(t *sim.Task, pkt *mbuf.Mbuf) {
 			p.timer.Stop()
 			delete(e.pending, h.seq)
 			e.stats.Acked++
+			e.setState(p, XferAcked, CauseAck)
 		}
 	case typeData:
 		e.mgr.stats.DataRcvd++

@@ -98,6 +98,11 @@ type Manager struct {
 
 	ports map[uint16]*Endpoint
 	stats Stats
+	// hostName is the precomputed audit/telemetry label (the CPU name).
+	hostName string
+	// audit receives every send-lifecycle transition (nil = off); the
+	// legality checker lives in internal/audit.
+	audit TransitionSink
 }
 
 // Config wires a Manager.
@@ -118,14 +123,15 @@ type Config struct {
 // the manager's guard/handler on IP.PacketRecv next to UDP's and TCP's.
 func Install(cfg Config) (*Manager, error) {
 	m := &Manager{
-		sim:   cfg.Sim,
-		ip:    cfg.IP,
-		disp:  cfg.Disp,
-		raise: cfg.Raise,
-		cpu:   cfg.CPU,
-		pool:  cfg.Pool,
-		costs: cfg.Costs,
-		ports: make(map[uint16]*Endpoint),
+		sim:      cfg.Sim,
+		ip:       cfg.IP,
+		disp:     cfg.Disp,
+		raise:    cfg.Raise,
+		cpu:      cfg.CPU,
+		pool:     cfg.Pool,
+		costs:    cfg.Costs,
+		ports:    make(map[uint16]*Endpoint),
+		hostName: cfg.CPU.Name(),
 	}
 	if err := cfg.Disp.Declare(RecvEvent, event.Options{RequireEphemeral: cfg.RequireEphemeral}); err != nil {
 		return nil, err

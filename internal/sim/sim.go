@@ -326,6 +326,11 @@ func (s *Sim) RunUntil(t Time) {
 	}
 }
 
+// QueueLen reports the event-queue length including cancelled entries — the
+// O(1) depth gauge the telemetry plane samples every tick (Pending is the
+// exact-but-O(n) live count).
+func (s *Sim) QueueLen() int { return len(s.queue) }
+
 // Pending reports the number of live events still queued.
 func (s *Sim) Pending() int {
 	n := 0

@@ -41,11 +41,42 @@ type chromeTrace struct {
 // micros converts simulated time to trace_event microseconds.
 func micros(t sim.Time) float64 { return float64(t) / 1000.0 }
 
-// The hop track shares the per-host process with the profiler threads.
-const hopTid = 100
+// The hop track shares the per-host process with the profiler threads, and
+// the state-transition instants get their own track beside it.
+const (
+	hopTid   = 100
+	stateTid = 101
+)
+
+// ChromeCounter is one point on a counter track ("C" event): a telemetry
+// series sample rendered as a stacked area chart under the host's process.
+type ChromeCounter struct {
+	Host  string
+	Name  string // counter track name, e.g. "tcp.cwnd conn=5001-10.0.0.2:80"
+	At    sim.Time
+	Value int64
+}
+
+// ChromeInstant is one instant event on a host's state track — an audit
+// transition rendered into the timeline next to the profiler slices that
+// caused it.
+type ChromeInstant struct {
+	Host string
+	Name string // e.g. "tcp FinWait1->TimeWait"
+	At   sim.Time
+	Args map[string]any
+}
 
 // WriteChromeTrace emits the retained samples and hops as trace_event JSON.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	return r.WriteChromeTraceWith(w, nil, nil)
+}
+
+// WriteChromeTraceWith emits the profiler timeline plus externally supplied
+// counter tracks (telemetry series) and instant events (audit transitions),
+// merged into the same per-host processes so queue depths and window sizes
+// line up under the slices that produced them.
+func (r *Recorder) WriteChromeTraceWith(w io.Writer, counters []ChromeCounter, instants []ChromeInstant) error {
 	samples := r.Samples()
 	hops := r.Hops()
 
@@ -56,6 +87,12 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	}
 	for _, h := range hops {
 		hostSet[h.Host] = true
+	}
+	for _, c := range counters {
+		hostSet[c.Host] = true
+	}
+	for _, in := range instants {
+		hostSet[in.Host] = true
 	}
 	hosts := make([]string, 0, len(hostSet))
 	for h := range hostSet {
@@ -83,6 +120,10 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			Name: "thread_name", Ph: "M", Pid: pid[h], Tid: hopTid,
 			Args: map[string]any{"name": "packets"},
 		})
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pid[h], Tid: stateTid,
+			Args: map[string]any{"name": "states"},
+		})
 	}
 	for _, s := range samples {
 		events = append(events, chromeEvent{
@@ -97,6 +138,20 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			Name: h.Layer + "." + h.Action, Cat: "span", Ph: "i",
 			Ts: micros(h.At), Pid: pid[h.Host], Tid: hopTid, Scope: "t",
 			Args: map[string]any{"span": h.Span, "bytes": h.Bytes},
+		})
+	}
+	for _, c := range counters {
+		events = append(events, chromeEvent{
+			Name: c.Name, Cat: "telemetry", Ph: "C",
+			Ts: micros(c.At), Pid: pid[c.Host], Tid: 0,
+			Args: map[string]any{"value": c.Value},
+		})
+	}
+	for _, in := range instants {
+		events = append(events, chromeEvent{
+			Name: in.Name, Cat: "audit", Ph: "i",
+			Ts: micros(in.At), Pid: pid[in.Host], Tid: stateTid, Scope: "t",
+			Args: in.Args,
 		})
 	}
 

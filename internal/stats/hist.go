@@ -147,6 +147,30 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return h.max
 }
 
+// Merge folds other's samples into h — the cross-shard aggregation step:
+// each shard's recorder observes into its own fixed rings, and the report
+// merges them bucket-by-bucket. Identical geometry on both sides means the
+// merge is exact (the merged histogram equals one that observed every sample
+// directly), regardless of how many samples each side holds.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.n == 0 {
+		return
+	}
+	if h.n == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	for i, c := range other.counts {
+		if c != 0 {
+			h.counts[i] += c
+		}
+	}
+	h.n += other.n
+	h.sum += other.sum
+}
+
 // Reset clears the histogram for reuse without releasing its storage.
 func (h *Histogram) Reset() {
 	*h = Histogram{}

@@ -107,3 +107,90 @@ func TestHistogramObserveNoAlloc(t *testing.T) {
 		t.Fatalf("Observe allocates %.1f/op", allocs)
 	}
 }
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	var h Histogram
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty histogram q%.2f = %d, want 0", q, got)
+		}
+	}
+	if h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty histogram min=%d max=%d mean=%d", h.Min(), h.Max(), h.Mean())
+	}
+}
+
+func TestHistogramQuantileSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(777_000)
+	// With one sample every quantile is that sample, exactly — the clamp to
+	// observed min/max must override bucket interpolation.
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.99, 1} {
+		if got := h.Quantile(q); got != 777_000 {
+			t.Fatalf("single-sample q%.2f = %d, want 777000", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileSaturatedBucket(t *testing.T) {
+	// Every sample identical: one bucket holds the entire population. All
+	// quantiles must return exactly that value (clamped, not interpolated
+	// across the bucket span).
+	var h Histogram
+	for i := 0; i < 10_000; i++ {
+		h.Observe(1_000_000)
+	}
+	for _, q := range []float64{0, 0.5, 0.999, 1} {
+		if got := h.Quantile(q); got != 1_000_000 {
+			t.Fatalf("saturated q%.3f = %d, want 1000000", q, got)
+		}
+	}
+	if h.Min() != 1_000_000 || h.Max() != 1_000_000 {
+		t.Fatalf("min=%d max=%d", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramMergeDifferentSizes(t *testing.T) {
+	// Merge a small histogram into a large one (the differently-sized-rings
+	// case: shards retain wildly different sample counts). The merged result
+	// must be indistinguishable from observing every sample into one
+	// histogram directly.
+	rng := rand.New(rand.NewSource(11))
+	var big, small, direct Histogram
+	for i := 0; i < 5000; i++ {
+		v := int64(rng.Intn(10_000_000))
+		big.Observe(v)
+		direct.Observe(v)
+	}
+	for i := 0; i < 7; i++ {
+		v := int64(rng.Intn(100)) // much smaller values, much smaller count
+		small.Observe(v)
+		direct.Observe(v)
+	}
+	big.Merge(&small)
+	if big.Count() != direct.Count() || big.Sum() != direct.Sum() {
+		t.Fatalf("count/sum: merged %d/%d direct %d/%d", big.Count(), big.Sum(), direct.Count(), direct.Sum())
+	}
+	if big.Min() != direct.Min() || big.Max() != direct.Max() {
+		t.Fatalf("min/max: merged %d/%d direct %d/%d", big.Min(), big.Max(), direct.Min(), direct.Max())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if big.Quantile(q) != direct.Quantile(q) {
+			t.Fatalf("q%.2f: merged %d direct %d", q, big.Quantile(q), direct.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramMergeEmptyAndNil(t *testing.T) {
+	var h, empty Histogram
+	h.Observe(42)
+	h.Merge(&empty) // merging empty is a no-op
+	h.Merge(nil)    // merging nil is a no-op
+	if h.Count() != 1 || h.Min() != 42 || h.Max() != 42 {
+		t.Fatalf("no-op merges changed state: n=%d min=%d max=%d", h.Count(), h.Min(), h.Max())
+	}
+	empty.Merge(&h) // merging into empty adopts min/max wholesale
+	if empty.Count() != 1 || empty.Min() != 42 || empty.Max() != 42 {
+		t.Fatalf("merge into empty: n=%d min=%d max=%d", empty.Count(), empty.Min(), empty.Max())
+	}
+}

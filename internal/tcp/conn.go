@@ -183,6 +183,9 @@ type Conn struct {
 	stats      ConnStats
 	closedErr  error
 	dead       bool
+	// probeTag is the telemetry probe's opaque per-connection slot (cached
+	// series handles); see telemetry.go.
+	probeTag any
 }
 
 // newConn allocates a TCB and installs its guard (exact 4-tuple match — the
@@ -227,6 +230,7 @@ func (m *Manager) newConn(localPort uint16, remote view.IP4, remotePort uint16, 
 	}
 	c.binding = b
 	m.conns[connKey{localPort, remote, remotePort}] = c
+	m.connList = append(m.connList, c)
 	return c
 }
 
@@ -599,6 +603,12 @@ func (c *Conn) teardown(err error, cause Cause) {
 	c.disarmPersist()
 	c.mgr.disp.Uninstall(c.binding)
 	delete(c.mgr.conns, connKey{c.localPort, c.remoteAddr, c.remotePort})
+	for i, lc := range c.mgr.connList {
+		if lc == c {
+			c.mgr.connList = append(c.mgr.connList[:i], c.mgr.connList[i+1:]...)
+			break
+		}
+	}
 	if c.opts.OnClose != nil {
 		c.opts.OnClose(c, err)
 	}

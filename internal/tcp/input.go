@@ -144,16 +144,19 @@ func (c *Conn) timeWaitInput(t *sim.Task, s seg) {
 	if s.flags&view.TCPFin != 0 && seqLE(s.seq, c.rcv.nxt) {
 		// A retransmitted FIN: our ACK of it was lost. Re-ACK and restart
 		// the 2*MSL timer (RFC 793 p.73).
+		c.mgr.stats.TimeWaitRearms++
 		c.rearmTimeWait()
 		c.sendACK(t)
 		return
 	}
 	if !c.seqAcceptable(s) {
 		c.sendACK(t)
+		return
 	}
 	// In-window duplicate ACKs and old data draw no reply: both ends of a
 	// simultaneous close sit in TIME-WAIT, and answering every segment
 	// would have the two trade ACKs until the storm breaks the loop.
+	c.mgr.stats.TimeWaitQuietDrops++
 }
 
 // rstAcceptable validates a RST's sequence number against the receive window

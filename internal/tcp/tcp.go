@@ -54,6 +54,13 @@ type Stats struct {
 	Retransmits  uint64
 	FastRexmits  uint64
 	DelayedAcks  uint64
+	// TimeWaitRearms counts retransmitted FINs arriving in TIME-WAIT that
+	// were re-ACKed and restarted the 2·MSL timer (RFC 793 p.73).
+	TimeWaitRearms uint64
+	// TimeWaitQuietDrops counts in-window segments TIME-WAIT deliberately
+	// answered with silence — the quiet period that keeps two TIME-WAIT
+	// ends of a simultaneous close from trading ACKs forever.
+	TimeWaitQuietDrops uint64
 }
 
 // Manager is the TCP protocol manager for one host.
@@ -70,6 +77,10 @@ type Manager struct {
 
 	listeners map[uint16]*Listener
 	conns     map[connKey]*Conn
+	// connList mirrors conns in creation order: the deterministic,
+	// allocation-free iteration the telemetry probe samples through (map
+	// order would vary run to run).
+	connList []*Conn
 	// claimed ports are owned by another implementation of TCP installed
 	// in the graph (paper §3.1: TCP-standard's guard processes all TCP
 	// packets but those destined for TCP-special); segments to or from

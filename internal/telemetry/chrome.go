@@ -1,0 +1,34 @@
+// Chrome trace bridge: flatten engines' series into the counter-track
+// events stats.WriteChromeTraceWith renders. Perfetto draws each counter as
+// a stepped timeline under the host's process, beside the CPU profile — the
+// "queue depth while this task ran" view.
+package telemetry
+
+import (
+	"plexus/internal/stats"
+)
+
+// ChromeCounters flattens every retained point of every series into Chrome
+// counter events, engines in the given (shard) order, series in sorted key
+// order, points oldest first — deterministic like the other exporters.
+// Labeled series keep their labels in the counter name so each connection
+// or port gets its own track.
+func ChromeCounters(engines ...*Engine) []stats.ChromeCounter {
+	var out []stats.ChromeCounter
+	var pts []Point
+	for _, e := range engines {
+		for _, se := range e.sortedSeries() {
+			name := se.Name()
+			if lbl := se.Labels(); lbl != "" {
+				name += "{" + lbl + "}"
+			}
+			pts = se.Points(pts[:0])
+			for _, p := range pts {
+				out = append(out, stats.ChromeCounter{
+					Host: se.Host(), Name: name, At: p.At, Value: p.Val,
+				})
+			}
+		}
+	}
+	return out
+}
