@@ -32,7 +32,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all | fig5 | tput | fig6 | fig7 | http | latency | loss | rogue | scale | fabric | ablations | telemetry")
+	exp := flag.String("exp", "all", "experiment: all | fig5 | tput | fig6 | fig7 | http | latency | loss | rogue | scale | fabric | ablations | telemetry | cc")
 	fast := flag.Bool("fastdriver", false, "use the faster device driver variant (§4.1)")
 	size := flag.Int("size", 1<<20, "bulk transfer size in bytes for -exp tput")
 	parallel := flag.Int("parallel", 0, "experiment cells run concurrently (0 = GOMAXPROCS, 1 = sequential)")
@@ -102,6 +102,7 @@ func main() {
 	run("fabric", fabricExp)
 	run("ablations", ablations)
 	run("telemetry", telemetryExp)
+	run("cc", ccExp)
 
 	if *telemetryOut != "" {
 		if err := writeTelemetryDump(*telemetryOut); err != nil {
@@ -367,6 +368,23 @@ func telemetryExp() (any, error) {
 		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%d\t%s\t%d\t%d\t%d\t%d\n",
 			r.System, r.Workload, r.Shards, r.Series, r.Points, r.Ticks, r.Digest, r.Alarms,
 			r.TCP.RSTsRejected, r.TCP.TimeWaitRearms, r.TCP.TimeWaitQuietDrops)
+	}
+	return rows, w.Flush()
+}
+
+func ccExp() (any, error) {
+	header("Congestion control: two flows sharing one switch port — fairness sweep")
+	rows, err := bench.CC()
+	if err != nil {
+		return nil, err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "algos\tbw (Mb/s)\tprop (µs)\tloss\tgoodput A/B (Mb/s)\tJain\trexmit A/B\tqueue peak/mean/cap\tport drops\taudit viol")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s+%s\t%d\t%d\t%.0f%%\t%.2f / %.2f\t%.3f\t%.3f / %.3f\t%d / %.1f / %d\t%d\t%d\n",
+			r.AlgoA, r.AlgoB, r.BandwidthMbps, r.PropDelayUs, r.LossPct,
+			r.GoodputA, r.GoodputB, r.Jain, r.RexmitRatioA, r.RexmitRatioB,
+			r.QueuePeak, r.QueueMean, r.QueueCap, r.PortDrops, r.AuditViolations)
 	}
 	return rows, w.Flush()
 }

@@ -73,6 +73,8 @@ func tcpGauge(hosts ...*plexus.Stack) event.TCPGauge {
 		g.RSTsRejected += hg.RSTsRejected
 		g.TimeWaitRearms += hg.TimeWaitRearms
 		g.TimeWaitQuietDrops += hg.TimeWaitQuietDrops
+		g.FastRecoveries += hg.FastRecoveries
+		g.SackRexmits += hg.SackRexmits
 	}
 	return g
 }

@@ -269,6 +269,10 @@ type TCPGauge struct {
 	RSTsRejected       uint64 `json:"tcp_rsts_rejected"`
 	TimeWaitRearms     uint64 `json:"tcp_timewait_rearms"`
 	TimeWaitQuietDrops uint64 `json:"tcp_timewait_quiet_drops"`
+	// FastRecoveries counts NewReno fast-recovery episodes; SackRexmits
+	// counts scoreboard-driven selective retransmissions.
+	FastRecoveries uint64 `json:"tcp_fast_recoveries"`
+	SackRexmits    uint64 `json:"tcp_sack_rexmits"`
 }
 
 // Health returns the dispatcher's current health snapshot.

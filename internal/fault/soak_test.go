@@ -2,7 +2,9 @@
 // jitter, and periodic carrier flaps over live TCP and SPP traffic. After the
 // storm heals, every connection must have reached CLOSED, every transfer must
 // have completed intact, and every pool must balance — no stuck TCBs, no
-// leaked mbufs, no frames live on the wire.
+// leaked mbufs, no frames live on the wire. The soak runs once per
+// congestion-control algorithm: loss recovery differs across them, but the
+// postconditions must not.
 package fault_test
 
 import (
@@ -19,7 +21,15 @@ import (
 )
 
 func TestChaosSoak(t *testing.T) {
-	n, a, b, err := plexus.TwoHosts(42, netdev.EthernetModel(), spinSpec("a"), spinSpec("b"))
+	for _, algo := range []string{"newreno", "cubic", "bbr"} {
+		t.Run(algo, func(t *testing.T) { chaosSoak(t, algo) })
+	}
+}
+
+func chaosSoak(t *testing.T, algo string) {
+	sa, sb := spinSpec("a"), spinSpec("b")
+	sa.CC, sb.CC = algo, algo
+	n, a, b, err := plexus.TwoHosts(42, netdev.EthernetModel(), sa, sb)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -282,8 +282,8 @@ type NIC struct {
 	// priority, after driver costs) for every frame that passes the MAC
 	// filter.
 	recvRef *event.Ref
-	promisc   bool
-	stats     NICStats
+	promisc bool
+	stats   NICStats
 	// rxLabel and jobFree back the allocation-free receive path: the task
 	// label is materialized once and rx jobs are pooled.
 	rxLabel string
@@ -309,7 +309,7 @@ type Config struct {
 	// arrivals. It may be left nil and wired later with SetRecvRef when
 	// the NIC is built before the layer that declares its receive event.
 	RecvRef *event.Ref
-	MAC       view.MAC
+	MAC     view.MAC
 	// Promiscuous disables the MAC destination filter (the forwarder and
 	// trace tools use it).
 	Promiscuous bool
@@ -321,16 +321,16 @@ func (n *NIC) SetRecvRef(r *event.Ref) { n.recvRef = r }
 // NewNIC creates a NIC and attaches it to the link.
 func NewNIC(s *sim.Sim, name string, model Model, link *Link, cfg Config) *NIC {
 	n := &NIC{
-		sim:       s,
-		cpu:       cfg.CPU,
-		raiser:    cfg.Raise,
-		pool:      cfg.Pool,
-		model:     model,
-		name:      name,
-		mac:       cfg.MAC,
-		link:      link,
-		recvRef:   cfg.RecvRef,
-		promisc:   cfg.Promiscuous,
+		sim:     s,
+		cpu:     cfg.CPU,
+		raiser:  cfg.Raise,
+		pool:    cfg.Pool,
+		model:   model,
+		name:    name,
+		mac:     cfg.MAC,
+		link:    link,
+		recvRef: cfg.RecvRef,
+		promisc: cfg.Promiscuous,
 	}
 	n.rxLabel = "rx:" + name
 	link.atts = append(link.atts, n)

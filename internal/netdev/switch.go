@@ -39,6 +39,24 @@ type SwitchConfig struct {
 	Latency     sim.Time
 	QueueFrames int
 	AgeTime     sim.Time
+	// RED enables random early detection on every output queue (zero
+	// value = pure tail drop).
+	RED REDConfig
+}
+
+// REDConfig is a minimal RED (random early detection) profile for a port's
+// output queue: once the instantaneous depth reaches MinFrames, an arriving
+// frame is dropped with probability ramping linearly from 0 to MaxProb at
+// MaxFrames; at or beyond MaxFrames every arrival is dropped. The point is
+// what RED was invented for — desynchronizing competing AIMD flows and
+// breaking the drop-tail lockout where one self-clocked flow wins every
+// queue-full race. The zero value disables it; MaxFrames defaults to the
+// queue capacity. Drops draw from the simulation's seeded PRNG, so runs
+// stay deterministic.
+type REDConfig struct {
+	MinFrames int
+	MaxFrames int
+	MaxProb   float64
 }
 
 // SwitchStats counts fabric-level activity.
@@ -60,7 +78,8 @@ type PortStats struct {
 	RxFrames  uint64
 	TxFrames  uint64
 	TxBytes   uint64
-	Drops     uint64 // output-queue tail drops
+	Drops     uint64 // output-queue drops (tail and RED together)
+	REDDrops  uint64 // the subset of Drops RED chose early
 	PipeDrops uint64 // frames a pipeline on this port dropped
 }
 
@@ -87,6 +106,7 @@ type Switch struct {
 	latency sim.Time
 	qcap    int
 	ageTime sim.Time
+	red     REDConfig
 
 	ports   []*Port
 	macs    map[view.MAC]macEntry
@@ -141,6 +161,9 @@ func NewSwitch(s *sim.Sim, name string, model Model, cfg SwitchConfig) *Switch {
 	if cfg.AgeTime == 0 {
 		cfg.AgeTime = DefaultMACAgeTime
 	}
+	if cfg.RED.MaxProb > 0 && cfg.RED.MaxFrames == 0 {
+		cfg.RED.MaxFrames = cfg.QueueFrames
+	}
 	return &Switch{
 		sim:     s,
 		name:    name,
@@ -148,6 +171,7 @@ func NewSwitch(s *sim.Sim, name string, model Model, cfg SwitchConfig) *Switch {
 		latency: cfg.Latency,
 		qcap:    cfg.QueueFrames,
 		ageTime: cfg.AgeTime,
+		red:     cfg.RED,
 		macs:    make(map[view.MAC]macEntry),
 		inLabel: "switch:" + name,
 	}
@@ -345,10 +369,23 @@ func (p *Port) enqueue(now sim.Time, f *frame) {
 		p.departs = p.departs[:0]
 		p.head = 0
 	}
-	if len(p.departs)-p.head >= p.sw.qcap {
+	depth := len(p.departs) - p.head
+	if depth >= p.sw.qcap {
 		p.stats.Drops++
 		p.sw.stats.Dropped++
 		return
+	}
+	if red := p.sw.red; red.MaxProb > 0 && depth >= red.MinFrames {
+		prob := red.MaxProb
+		if depth < red.MaxFrames {
+			prob *= float64(depth-red.MinFrames) / float64(red.MaxFrames-red.MinFrames)
+		}
+		if p.sw.sim.Rand().Float64() < prob {
+			p.stats.Drops++
+			p.stats.REDDrops++
+			p.sw.stats.Dropped++
+			return
+		}
 	}
 	size := len(f.buf)
 	start := now + p.sw.latency

@@ -29,6 +29,11 @@ type HostSpec struct {
 	Quarantine event.QuarantinePolicy
 	// Audit receives every TCP state transition on this host (nil = off).
 	Audit tcp.TransitionSink
+	// CC selects the host's default congestion-control algorithm
+	// ("" = tcp.DefaultCC).
+	CC string
+	// MinRTO overrides the TCP retransmission-timeout floor (0 = 1s).
+	MinRTO sim.Time
 }
 
 // Network is a set of hosts sharing one link — the paper's two-machine
@@ -59,6 +64,8 @@ func NewNetwork(seed int64, model netdev.Model, specs []HostSpec) (*Network, err
 			Pool:        spec.Pool,
 			Quarantine:  spec.Quarantine,
 			Audit:       spec.Audit,
+			CC:          spec.CC,
+			MinRTO:      spec.MinRTO,
 		}
 		st, err := NewStack(s, spec.Name, cfg)
 		if err != nil {

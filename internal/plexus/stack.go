@@ -56,6 +56,13 @@ type StackConfig struct {
 	// The canonical sinks and the RFC 793 conformance checker live in
 	// internal/audit.
 	Audit tcp.TransitionSink
+	// CC selects the default congestion-control algorithm for connections
+	// opened on this host ("" = tcp.DefaultCC). Individual connections may
+	// still override it via tcp.ConnOptions.CC.
+	CC string
+	// MinRTO overrides the TCP retransmission-timeout floor (0 = the
+	// RFC 6298 conservative 1s).
+	MinRTO sim.Time
 }
 
 // Stack is a fully assembled protocol graph on one host.
@@ -207,6 +214,8 @@ func NewStack(s *sim.Sim, name string, cfg StackConfig) (*Stack, error) {
 		Costs:            costs,
 		RequireEphemeral: false, // connection handlers are installed by the manager itself
 		Audit:            cfg.Audit,
+		DefaultCC:        cfg.CC,
+		MinRTO:           cfg.MinRTO,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("plexus: %w", err)

@@ -19,6 +19,12 @@ type TCPAppOptions struct {
 	OnClose func(conn *TCPApp, err error)
 	// AppRecvCost is charged per delivered chunk.
 	AppRecvCost sim.Time
+	// CC overrides the host's congestion-control algorithm for this
+	// connection ("" = the host default).
+	CC string
+	// NoSack withholds SACK from this connection's handshake, forcing
+	// cumulative-ACK-only loss recovery.
+	NoSack bool
 }
 
 // TCPApp is an application-level TCP connection with personality costs.
@@ -31,6 +37,8 @@ type TCPApp struct {
 func (st *Stack) connOptions(app *TCPApp, opts TCPAppOptions) tcp.ConnOptions {
 	return tcp.ConnOptions{
 		Ephemeral: true,
+		CC:        opts.CC,
+		NoSack:    opts.NoSack,
 		OnRecv: func(t *sim.Task, c *tcp.Conn, data []byte) {
 			app.deliver(t, data)
 		},

@@ -177,6 +177,9 @@ func NewTopology(seed int64, gw *HostSpec, segs []SegmentSpec) (*Topology, error
 				Costs:       hs.Costs,
 				Pool:        hs.Pool,
 				Quarantine:  hs.Quarantine,
+				Audit:       hs.Audit,
+				CC:          hs.CC,
+				MinRTO:      hs.MinRTO,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("plexus: host %s: %w", hs.Name, err)

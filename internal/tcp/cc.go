@@ -1,0 +1,152 @@
+// The pluggable congestion-control plane. The connection owns the loss
+// *detection* machinery — dup-ACK counting, the SACK scoreboard, NewReno's
+// recovery bookkeeping (RFC 6582), the RTO — and delegates the *policy*
+// questions (how fast may cwnd grow, what does it collapse to on loss,
+// should sends be paced) to a CongestionControl instance selected per
+// connection from a registry. Algorithms that compute their own window from
+// a model of the path (BBR) report OwnsCwnd and opt out of the
+// inflation/deflation arithmetic entirely.
+package tcp
+
+import (
+	"sort"
+
+	"plexus/internal/sim"
+)
+
+// RecoveryState is the sender's loss-recovery phase, orthogonal to the RFC
+// 793 connection state and exported for the audit and telemetry planes.
+type RecoveryState uint8
+
+const (
+	// RecoveryOpen is normal operation: no loss suspected.
+	RecoveryOpen RecoveryState = iota
+	// RecoveryFast is NewReno/SACK fast recovery (RFC 6582): entered on the
+	// third duplicate ACK, left when snd.recover is cumulatively acked.
+	RecoveryFast
+	// RecoveryLoss is RTO-driven recovery: the window collapsed and the
+	// sender is re-filling the pipe under slow start.
+	RecoveryLoss
+)
+
+var recoveryNames = [...]string{"OPEN", "FAST-RECOVERY", "LOSS"}
+
+func (r RecoveryState) String() string {
+	if int(r) < len(recoveryNames) {
+		return recoveryNames[r]
+	}
+	return "RECOVERY(?)"
+}
+
+// maxCwnd caps congestion-window growth: 16 MB is beyond any
+// bandwidth-delay product the simulator models and keeps every cwnd
+// computation far from uint32 wraparound.
+const maxCwnd = 1 << 24
+
+// CongestionControl is one congestion-control algorithm bound to one
+// connection. Implementations are per-connection (they may hold state) and
+// must not allocate on the OnAck path — the zero-alloc pin covers it.
+type CongestionControl interface {
+	// Name is the registry name the algorithm was created under.
+	Name() string
+	// Init runs once when the connection binds the algorithm, before any
+	// segment flows; the connection's MSS may still be renegotiated by the
+	// handshake.
+	Init(c *Conn)
+	// OnAck credits cwnd for acked bytes of new data (called outside fast
+	// recovery; during RTO recovery it regrows the collapsed window).
+	OnAck(c *Conn, acked uint32)
+	// SsthreshAfterLoss returns the new slow-start threshold on a loss
+	// event (fast retransmit or RTO).
+	SsthreshAfterLoss(c *Conn) uint32
+	// OnEnterRecovery and OnExitRecovery bracket NewReno fast recovery.
+	OnEnterRecovery(c *Conn)
+	OnExitRecovery(c *Conn)
+	// OnRTO reacts to a retransmission timeout. Algorithms that own cwnd
+	// must collapse it here; for the rest the connection has already set
+	// cwnd to one MSS.
+	OnRTO(c *Conn)
+	// OnRTTSample observes each valid (Karn-filtered) RTT measurement.
+	OnRTTSample(c *Conn, rtt sim.Time)
+	// PacingDelay returns the gap to impose after transmitting bytes, or 0
+	// for unpaced (ACK-clocked) operation. Paced sends ride the simulator's
+	// timer wheel.
+	PacingDelay(c *Conn, bytes uint32) sim.Time
+	// OwnsCwnd reports that the algorithm computes cwnd directly and the
+	// connection must skip the standard collapse/inflation/deflation moves.
+	OwnsCwnd() bool
+}
+
+// DefaultCC is the algorithm used when none is configured.
+const DefaultCC = "newreno"
+
+var ccRegistry = map[string]func() CongestionControl{}
+
+// RegisterCC adds an algorithm factory under name; later registrations
+// replace earlier ones. The built-ins register themselves from init.
+func RegisterCC(name string, factory func() CongestionControl) {
+	ccRegistry[name] = factory
+}
+
+// CCNames lists the registered algorithms, sorted.
+func CCNames() []string {
+	names := make([]string, 0, len(ccRegistry))
+	for n := range ccRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// newCC instantiates name, falling back to NewReno for "" or unknown names
+// (a misspelled algorithm must degrade to standard behaviour, not crash a
+// simulation mid-sweep).
+func newCC(name string) CongestionControl {
+	if f, ok := ccRegistry[name]; ok {
+		return f()
+	}
+	return ccRegistry[DefaultCC]()
+}
+
+// setCwnd applies a congestion-window value under the global clamps: never
+// below one MSS (the connection must always be able to probe), never above
+// maxCwnd (uint32 arithmetic stays safe).
+func (c *Conn) setCwnd(w uint32) {
+	if w > maxCwnd {
+		w = maxCwnd
+	}
+	if w < c.mss {
+		w = c.mss
+	}
+	c.snd.cwnd = w
+}
+
+// flightSize is RFC 5681's FlightSize: sequence space sent but not yet
+// cumulatively acknowledged.
+func (c *Conn) flightSize() uint32 { return c.snd.nxt - c.snd.una }
+
+// slowStartGrow implements RFC 3465 appropriate byte counting below
+// ssthresh with L=2·SMSS: per ACK, cwnd grows by the bytes actually
+// acknowledged, capped at 2·MSS, and clamped exactly at the ssthresh
+// crossing so a single ACK cannot overshoot into what should be congestion
+// avoidance. Credit truncated by the crossing clamp is left in *acc for the
+// caller's avoidance phase; credit beyond the L cap is discarded — banking
+// it would let a stretch ACK buy the whole burst's worth of exponential
+// growth at once, which is exactly what the cap exists to prevent.
+func slowStartGrow(c *Conn, acc *uint32) {
+	if c.snd.cwnd >= c.snd.ssthresh || *acc == 0 {
+		return
+	}
+	inc := *acc
+	if l := 2 * c.mss; inc > l {
+		inc = l
+	}
+	if room := c.snd.ssthresh - c.snd.cwnd; inc > room {
+		inc = room
+	}
+	c.setCwnd(c.snd.cwnd + inc)
+	*acc -= inc
+	if c.snd.cwnd < c.snd.ssthresh {
+		*acc = 0
+	}
+}

@@ -48,7 +48,9 @@ func (s State) String() string {
 
 // Protocol timing constants.
 const (
-	// minRTO/maxRTO bound the retransmission timeout.
+	// minRTO/maxRTO bound the retransmission timeout. The floor is the
+	// RFC 6298 conservative 1s; stacks tuned for low-latency recovery may
+	// lower it per host via Config.MinRTO (Linux uses 200ms).
 	minRTO = 1 * sim.Second
 	maxRTO = 64 * sim.Second
 	// initialRTO applies before any RTT sample (RFC 6298 suggests 1s;
@@ -88,8 +90,17 @@ type ConnOptions struct {
 	OnPeerFin func(t *sim.Task, c *Conn)
 	// Ephemeral marks the segment handler EPHEMERAL.
 	Ephemeral bool
-	// RcvWnd overrides the advertised window (default 64KB-1).
+	// RcvWnd overrides the advertised window (default 64KB-1). Values above
+	// 64KB-1 negotiate window scaling (RFC 7323) on the handshake.
 	RcvWnd uint32
+	// CC selects the congestion-control algorithm by registry name
+	// ("newreno", "cubic", "bbr"); empty uses the manager's default.
+	CC string
+	// NoSack withholds the SACK-permitted option from this end's SYN (or
+	// SYN|ACK), so neither side sends SACK blocks and loss recovery runs on
+	// cumulative ACKs alone — the knob for comparing recovery with and
+	// without the scoreboard.
+	NoSack bool
 }
 
 type sndState struct {
@@ -97,11 +108,19 @@ type sndState struct {
 	una uint32
 	nxt uint32
 	max uint32 // highest sequence ever sent + 1 (snd.nxt may rewind below it on RTO)
-	wnd uint32 // peer's advertised window
+	wnd uint32 // peer's advertised window, scaled
+	// wl1/wl2 are the seq/ack of the segment the window was last taken
+	// from: RFC 793's update-legality rule, so a stale reordered ACK can
+	// neither shrink nor re-open the send window.
+	wl1 uint32
+	wl2 uint32
 	// congestion control
 	cwnd     uint32
 	ssthresh uint32
 	dupAcks  int
+	// recover is RFC 6582's recovery point: snd.max at loss detection. A
+	// cumulative ACK at or past it ends the recovery episode.
+	recover uint32
 }
 
 type rcvState struct {
@@ -129,6 +148,19 @@ type ConnStats struct {
 	OOOBuffered  uint64
 	OOODropped   uint64
 	WindowProbes uint64 // zero-window persist probes sent
+	// FastRecoveries counts NewReno fast-recovery episodes entered.
+	FastRecoveries uint64
+	// PartialAcks counts RFC 6582 partial ACKs handled inside recovery.
+	PartialAcks uint64
+	// SackRexmits counts scoreboard-driven selective retransmissions.
+	SackRexmits uint64
+	// SacksSent/SacksRcvd count segments carrying SACK blocks.
+	SacksSent uint64
+	SacksRcvd uint64
+	// StaleWndUpdates counts window updates refused by the WL1/WL2
+	// freshness rule — each one is a reordered segment that would have
+	// corrupted the send window before the rule was enforced.
+	StaleWndUpdates uint64
 }
 
 // Conn is one TCP connection (a TCB plus its guard binding).
@@ -144,6 +176,31 @@ type Conn struct {
 	snd   sndState
 	rcv   rcvState
 	mss   uint32
+
+	// Congestion control (policy) and loss-recovery phase (mechanism).
+	cc       CongestionControl
+	ccName   string
+	recovery RecoveryState
+	// sb is the SACK scoreboard; rexmitHint is the next selective-
+	// retransmit candidate within the current recovery episode; rescueSeq
+	// is snd.max when the hole at snd.una was last retransmitted — SACKed
+	// data above it proves that retransmission lost (the links are FIFO,
+	// so later data overtaking it can only mean a drop).
+	sb         scoreboard
+	rexmitHint uint32
+	rescueSeq  uint32
+	// Negotiated options: peerSackOK gates SACK blocks both ways;
+	// peerWScaleOK records the peer offered window scaling; sndWndScale
+	// shifts the peer's window field, rcvWndScale ours.
+	peerSackOK   bool
+	peerWScaleOK bool
+	sndWndScale  uint8
+	rcvWndScale  uint8
+	// optBuf is the scratch buffer outgoing option blocks are built in.
+	optBuf [sackOptsLen]byte
+	// lastOOOSeq is the most recently buffered out-of-order sequence — the
+	// block RFC 2018 requires first in outgoing SACK options.
+	lastOOOSeq uint32
 
 	// sndBuf holds bytes from snd.una onward (unacked + unsent).
 	sndBuf []byte
@@ -168,6 +225,10 @@ type Conn struct {
 	twTimer      sim.Timer
 	persistTimer sim.Timer
 	persistShift uint
+	// Pacing (BBR-style senders): no data segment leaves before paceNext;
+	// when the gate closes, paceTimer re-runs output at the release time.
+	paceTimer sim.Timer
+	paceNext  sim.Time
 	// RTT estimation (Jacobson), Karn's rule via rttSeq/rttStart.
 	srtt     sim.Time
 	rttvar   sim.Time
@@ -205,14 +266,25 @@ func (m *Manager) newConn(localPort uint16, remote view.IP4, remotePort uint16, 
 		c.rcv.wnd = opts.RcvWnd
 	}
 	c.rcvWndCap = c.rcv.wnd
+	// Provisional receive-window scale; zeroed if the peer doesn't
+	// negotiate RFC 7323 scaling on the handshake.
+	c.rcvWndScale = wndScaleFor(c.rcvWndCap)
 	c.snd.iss = m.iss()
 	c.snd.una = c.snd.iss
 	c.snd.nxt = c.snd.iss
 	c.snd.max = c.snd.iss
+	c.snd.recover = c.snd.iss
 	// Initial window of two segments: a lone first segment would sit
 	// behind the receiver's delayed-ACK clock for 200ms.
 	c.snd.cwnd = 2 * c.mss
 	c.snd.ssthresh = 65535
+	name := opts.CC
+	if name == "" {
+		name = m.defaultCC
+	}
+	c.cc = newCC(name)
+	c.ccName = c.cc.Name()
+	c.cc.Init(c)
 	guard := func(t *sim.Task, pkt *mbuf.Mbuf) bool {
 		s, ok := parseSeg(pkt)
 		return ok && s.dstPort == c.localPort && s.srcPort == c.remotePort && s.src == c.remoteAddr
@@ -266,11 +338,26 @@ func (c *Conn) SendBufBytes() int { return len(c.sndBuf) }
 
 // --- output ---
 
+// synOpts builds the option block for an outgoing SYN or SYN|ACK. A SYN
+// offers everything; a SYN|ACK echoes only what the peer offered (RFC 2018
+// §2, RFC 7323 §2.2).
+func (c *Conn) synOpts(echo bool) []byte {
+	sackPerm := !c.opts.NoSack
+	wscale := int8(c.rcvWndScale)
+	if echo {
+		sackPerm = sackPerm && c.peerSackOK
+		if !c.peerWScaleOK {
+			wscale = -1
+		}
+	}
+	return putSynOptions(c.optBuf[:], uint16(c.mss), wscale, sackPerm)
+}
+
 func (c *Conn) sendSYN(t *sim.Task) {
 	c.snd.nxt = c.snd.iss + 1
 	c.bumpSndMax()
 	c.stats.SegsSent++
-	c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.snd.iss, 0, view.TCPSyn, c.rcv.wnd, nil)
+	c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.snd.iss, 0, view.TCPSyn, c.rcv.wnd, c.synOpts(false), nil)
 	c.armRexmit()
 	c.startRTT(c.snd.iss)
 }
@@ -279,15 +366,31 @@ func (c *Conn) sendSYNACK(t *sim.Task) {
 	c.snd.nxt = c.snd.iss + 1
 	c.bumpSndMax()
 	c.stats.SegsSent++
-	c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.snd.iss, c.rcv.nxt, view.TCPSyn|view.TCPAck, c.rcv.wnd, nil)
+	c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.snd.iss, c.rcv.nxt, view.TCPSyn|view.TCPAck, c.rcv.wnd, c.synOpts(true), nil)
 	c.armRexmit()
 }
 
-// sendACK emits a bare acknowledgment now, cancelling any delayed ACK.
+// wireRcvWnd is the window value advertised on non-SYN segments: the real
+// window right-shifted by the negotiated receive scale (sendSegment clamps
+// the result to the 16-bit field).
+func (c *Conn) wireRcvWnd() uint32 { return c.rcv.wnd >> c.rcvWndScale }
+
+// segWnd is the peer's effective window from a segment: the 16-bit field
+// shifted by the negotiated scale, except on SYNs, which are never scaled
+// (RFC 7323 §2.2).
+func (c *Conn) segWnd(s seg) uint32 {
+	if s.flags&view.TCPSyn != 0 {
+		return s.wnd
+	}
+	return s.wnd << c.sndWndScale
+}
+
+// sendACK emits a bare acknowledgment now, cancelling any delayed ACK. It
+// carries SACK blocks whenever out-of-order data is buffered.
 func (c *Conn) sendACK(t *sim.Task) {
 	c.ackTimer.Stop()
 	c.stats.SegsSent++
-	c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.snd.nxt, c.rcv.nxt, view.TCPAck, c.rcv.wnd, nil)
+	c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.snd.nxt, c.rcv.nxt, view.TCPAck, c.wireRcvWnd(), c.ackOpts(), nil)
 }
 
 // scheduleDelayedACK arms the 200ms ACK clock if not already pending.
@@ -352,7 +455,7 @@ func (c *Conn) Abort(t *sim.Task) {
 		return
 	}
 	c.mgr.stats.RSTsSent++
-	c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.snd.nxt, c.rcv.nxt, view.TCPRst|view.TCPAck, 0, nil)
+	c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.snd.nxt, c.rcv.nxt, view.TCPRst|view.TCPAck, 0, nil, nil)
 	c.teardown(ErrReset, userCause(CauseAbort))
 }
 
@@ -401,6 +504,11 @@ func (c *Conn) output(t *sim.Task) {
 		if n < c.mss && n < avail {
 			break
 		}
+		// Pacing gate (BBR-style senders): hold the segment until the pace
+		// clock releases it; the timer re-enters output at that instant.
+		if c.paceGate(n) {
+			break
+		}
 		payload := c.sndBuf[offset : offset+n]
 		flags := uint8(view.TCPAck)
 		// PSH on the last segment of the buffered data.
@@ -413,7 +521,7 @@ func (c *Conn) output(t *sim.Task) {
 		c.stats.SegsSent++
 		c.stats.BytesSent += uint64(n)
 		c.ackTimer.Stop() // data segment carries the ACK
-		c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, seq, c.rcv.nxt, flags, c.rcv.wnd, payload)
+		c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, seq, c.rcv.nxt, flags, c.wireRcvWnd(), nil, payload)
 		c.startRTT(seq)
 		c.armRexmit()
 	}
@@ -431,9 +539,42 @@ func (c *Conn) output(t *sim.Task) {
 		c.bumpSndMax()
 		c.finSent = true
 		c.stats.SegsSent++
-		c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.finSeq, c.rcv.nxt, view.TCPFin|view.TCPAck, c.rcv.wnd, nil)
+		c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.finSeq, c.rcv.nxt, view.TCPFin|view.TCPAck, c.wireRcvWnd(), nil, nil)
 		c.armRexmit()
 	}
+}
+
+// paceGate enforces the congestion controller's pacing schedule: it returns
+// true when the next send must wait, arming a timer to resume output at the
+// release time. Unpaced algorithms (PacingDelay 0) never close the gate.
+func (c *Conn) paceGate(n uint32) bool {
+	d := c.cc.PacingDelay(c, n)
+	if d == 0 {
+		return false
+	}
+	now := c.mgr.sim.Now()
+	if now < c.paceNext {
+		c.armPace(c.paceNext - now)
+		return true
+	}
+	c.paceNext = now + d
+	return false
+}
+
+func (c *Conn) armPace(d sim.Time) {
+	if c.paceTimer.Pending() {
+		return
+	}
+	c.paceTimer = c.mgr.sim.After(d, "tcp-pace", func() {
+		if c.dead {
+			return
+		}
+		c.mgr.cpu.Submit(sim.PrioKernel, "tcp-pace", func(task *sim.Task) {
+			if !c.dead {
+				c.output(task)
+			}
+		})
+	})
 }
 
 // --- timers & RTT ---
@@ -467,13 +608,20 @@ func (c *Conn) sampleRTT(ack uint32) {
 		c.srtt += (m - c.srtt) / 8
 	}
 	c.rto = c.srtt + 4*c.rttvar
-	if c.rto < minRTO {
-		c.rto = minRTO
+	floor := c.mgr.minRTO
+	if floor == 0 {
+		floor = minRTO
+	}
+	if c.rto < floor {
+		c.rto = floor
 	}
 	if c.rto > maxRTO {
 		c.rto = maxRTO
 	}
 	c.backoff = 0
+	if c.cc != nil {
+		c.cc.OnRTTSample(c, m)
+	}
 }
 
 func (c *Conn) cancelRTT() { c.rttValid = false }
@@ -519,7 +667,7 @@ func (c *Conn) onRexmitTimeout(t *sim.Task) {
 			return
 		}
 		c.stats.Retransmits++
-		c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.snd.iss, 0, view.TCPSyn, c.rcv.wnd, nil)
+		c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.snd.iss, 0, view.TCPSyn, c.rcv.wnd, c.synOpts(false), nil)
 		c.armRexmit()
 		return
 	case StateSynRcvd:
@@ -529,19 +677,24 @@ func (c *Conn) onRexmitTimeout(t *sim.Task) {
 			return
 		}
 		c.stats.Retransmits++
-		c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.snd.iss, c.rcv.nxt, view.TCPSyn|view.TCPAck, c.rcv.wnd, nil)
+		c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.snd.iss, c.rcv.nxt, view.TCPSyn|view.TCPAck, c.rcv.wnd, c.synOpts(true), nil)
 		c.armRexmit()
 		return
 	}
-	// Collapse the window: ssthresh = flight/2, cwnd = 1 MSS.
-	flight := c.snd.nxt - c.snd.una
-	half := flight / 2
-	if half < 2*c.mss {
-		half = 2 * c.mss
-	}
-	c.snd.ssthresh = half
-	c.snd.cwnd = c.mss
+	// Collapse the window (RFC 5681 timeout behaviour): the algorithm picks
+	// the new ssthresh; cwnd drops to one MSS unless the algorithm owns it
+	// (BBR applies packet conservation in OnRTO instead). The scoreboard is
+	// discarded — after a timeout its view of the receiver is stale.
+	c.snd.ssthresh = c.cc.SsthreshAfterLoss(c)
+	c.recovery = RecoveryLoss
+	c.snd.recover = c.snd.max
 	c.snd.dupAcks = 0
+	c.sb.reset()
+	c.rexmitHint = 0
+	if !c.cc.OwnsCwnd() {
+		c.setCwnd(c.mss)
+	}
+	c.cc.OnRTO(c)
 	if n := c.retransmitOldest(t); n > 0 {
 		// Go-back-N: everything past the retransmitted segment predates
 		// the timeout and is presumed lost. Rewinding snd.nxt lets ACK
@@ -567,22 +720,76 @@ func (c *Conn) bumpSndMax() {
 // retransmitOldest resends one segment starting at snd.una and reports how
 // many data bytes it carried (0 for a FIN-only retransmission).
 func (c *Conn) retransmitOldest(t *sim.Task) uint32 {
-	unacked := uint32(len(c.sndBuf))
-	if unacked > 0 {
-		n := unacked
-		if n > c.mss {
-			n = c.mss
+	return c.retransmitHole(t, c.snd.una, 0)
+}
+
+// retransmitHole resends one MSS-bounded segment starting at start, bounded
+// by end when nonzero (the next SACKed range — no point resending bytes the
+// receiver already holds). It reports the data bytes carried (0 for a
+// FIN-only retransmission) and cancels any in-progress RTT sample (Karn's
+// rule: retransmitted sequence space must never be timed).
+func (c *Conn) retransmitHole(t *sim.Task, start, end uint32) uint32 {
+	if seqLT(start, c.snd.una) {
+		start = c.snd.una
+	}
+	offset := start - c.snd.una
+	buflen := uint32(len(c.sndBuf))
+	if offset >= buflen {
+		// Only the FIN lives beyond the buffer.
+		if c.finSent && seqLE(c.snd.una, c.finSeq) && seqLE(start, c.finSeq) {
+			c.stats.Retransmits++
+			c.cancelRTT()
+			c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.finSeq, c.rcv.nxt, view.TCPFin|view.TCPAck, c.wireRcvWnd(), nil, nil)
 		}
-		c.stats.Retransmits++
-		payload := c.sndBuf[:n]
-		c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.snd.una, c.rcv.nxt, view.TCPAck|view.TCPPsh, c.rcv.wnd, payload)
-		return n
+		return 0
 	}
-	if c.finSent && seqLE(c.snd.una, c.finSeq) {
-		c.stats.Retransmits++
-		c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.finSeq, c.rcv.nxt, view.TCPFin|view.TCPAck, c.rcv.wnd, nil)
+	n := buflen - offset
+	if end != 0 && seqLT(start, end) {
+		if span := end - start; n > span {
+			n = span
+		}
 	}
-	return 0
+	if n > c.mss {
+		n = c.mss
+	}
+	c.stats.Retransmits++
+	c.cancelRTT()
+	payload := c.sndBuf[offset : offset+n]
+	c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, start, c.rcv.nxt, view.TCPAck|view.TCPPsh, c.wireRcvWnd(), nil, payload)
+	return n
+}
+
+// sackRexmit retransmits the next scoreboard hole during recovery (the
+// selective-repeat half of RFC 6675, simplified to one hole per ACK event).
+// rexmitHint walks forward through the holes; once it passes the last one, a
+// rescue retransmission of the front hole is allowed only when the peer has
+// SACKed data sent after that hole's last retransmission — on FIFO links the
+// overtake proves the retransmission was lost, so recovery repairs it from
+// the continuing dup-ACK stream instead of stalling until the RTO.
+func (c *Conn) sackRexmit(t *sim.Task) {
+	if c.sb.n == 0 {
+		return
+	}
+	hint := c.rexmitHint
+	if seqLT(hint, c.snd.una) {
+		hint = c.snd.una
+	}
+	start, end, ok := c.sb.nextHole(hint)
+	if !ok && seqGT(hint, c.snd.una) && seqGT(c.sb.r[c.sb.n-1].end, c.rescueSeq) {
+		start, end, ok = c.sb.nextHole(c.snd.una)
+	}
+	if !ok {
+		return
+	}
+	if n := c.retransmitHole(t, start, end); n > 0 {
+		c.rexmitHint = start + n
+		if start == c.snd.una {
+			c.rescueSeq = c.snd.max
+		}
+		c.stats.SackRexmits++
+		c.mgr.stats.SackRexmits++
+		c.armRexmit()
+	}
 }
 
 // --- teardown ---
@@ -600,6 +807,7 @@ func (c *Conn) teardown(err error, cause Cause) {
 	c.disarmRexmit()
 	c.ackTimer.Stop()
 	c.twTimer.Stop()
+	c.paceTimer.Stop()
 	c.disarmPersist()
 	c.mgr.disp.Uninstall(c.binding)
 	delete(c.mgr.conns, connKey{c.localPort, c.remoteAddr, c.remotePort})
@@ -732,7 +940,7 @@ func (c *Conn) sendWindowProbe(t *sim.Task) {
 	c.stats.WindowProbes++
 	c.stats.SegsSent++
 	payload := c.sndBuf[offset : offset+n]
-	c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.snd.nxt, c.rcv.nxt, view.TCPAck|view.TCPPsh, c.rcv.wnd, payload)
+	c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.snd.nxt, c.rcv.nxt, view.TCPAck|view.TCPPsh, c.wireRcvWnd(), nil, payload)
 	if inWindow {
 		// A forced in-window send is real transmission: it advances
 		// snd.nxt and is covered by the retransmission timer.

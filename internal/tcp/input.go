@@ -60,7 +60,7 @@ func (c *Conn) segArrives(t *sim.Task, pkt *mbuf.Mbuf) {
 	// Duplicate SYN|ACK retransmission handling in SYN-RCVD: re-ack.
 	if c.state == StateSynRcvd && s.flags&view.TCPSyn != 0 {
 		c.stats.SegsSent++
-		c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.snd.iss, c.rcv.nxt, view.TCPSyn|view.TCPAck, c.rcv.wnd, nil)
+		c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, c.snd.iss, c.rcv.nxt, view.TCPSyn|view.TCPAck, c.rcv.wnd, c.synOpts(true), nil)
 		return
 	}
 	// 4. ACK processing.
@@ -72,7 +72,7 @@ func (c *Conn) segArrives(t *sim.Task, pkt *mbuf.Mbuf) {
 			c.establish(t, segCause(s))
 		} else {
 			c.mgr.stats.RSTsSent++
-			c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, s.ack, 0, view.TCPRst, 0, nil)
+			c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, s.ack, 0, view.TCPRst, 0, nil, nil)
 			return
 		}
 	}
@@ -95,7 +95,7 @@ func (c *Conn) synSentInput(t *sim.Task, s seg) {
 				c.mgr.stats.RSTsRejected++
 			} else {
 				c.mgr.stats.RSTsSent++
-				c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, s.ack, 0, view.TCPRst, 0, nil)
+				c.mgr.sendSegment(t, c.localPort, c.remoteAddr, c.remotePort, s.ack, 0, view.TCPRst, 0, nil, nil)
 			}
 			return
 		}
@@ -114,7 +114,11 @@ func (c *Conn) synSentInput(t *sim.Task, s seg) {
 	}
 	c.rcv.irs = s.seq
 	c.rcv.nxt = s.seq + 1
+	// SYN windows are unscaled; wl1/wl2 seed the freshness rule.
 	c.snd.wnd = s.wnd
+	c.snd.wl1 = s.seq
+	c.snd.wl2 = s.ack
+	c.applySynOptions(s)
 	if acceptableAck {
 		c.snd.una = s.ack
 		c.sampleRTT(s.ack)
@@ -201,8 +205,41 @@ func (c *Conn) seqAcceptable(s seg) bool {
 		(seqLE(c.rcv.nxt, segEnd) && seqLT(segEnd, wndEnd))
 }
 
-// processAck advances snd.una, runs congestion control, and drives the close
-// states forward.
+// applySynOptions folds the peer's handshake options into the TCB: MSS
+// clamping, SACK permission, and window scaling — enabled only when both
+// sides offered it (RFC 7323 §2.2).
+func (c *Conn) applySynOptions(s seg) {
+	if s.mss != 0 && uint32(s.mss) < c.mss {
+		c.mss = uint32(s.mss)
+	}
+	c.peerSackOK = s.sackPerm && !c.opts.NoSack
+	if s.wscale >= 0 {
+		c.peerWScaleOK = true
+		c.sndWndScale = uint8(s.wscale)
+	} else {
+		c.peerWScaleOK = false
+		c.sndWndScale = 0
+		c.rcvWndScale = 0
+	}
+}
+
+// updateSndWnd applies a segment's window field under RFC 793's SND.WL1/WL2
+// freshness rule: only a segment newer than the last window update (higher
+// seq, or same seq with a no-older ack) may change snd.wnd. Without the
+// rule, a reordered stale ACK can shrink — or worse, re-open — the send
+// window the peer has since closed.
+func (c *Conn) updateSndWnd(s seg) {
+	if seqLT(c.snd.wl1, s.seq) || (c.snd.wl1 == s.seq && seqLE(c.snd.wl2, s.ack)) {
+		c.snd.wnd = c.segWnd(s)
+		c.snd.wl1 = s.seq
+		c.snd.wl2 = s.ack
+		return
+	}
+	c.stats.StaleWndUpdates++
+}
+
+// processAck advances snd.una, folds in SACK information, runs the recovery
+// state machine and congestion control, and drives the close states forward.
 func (c *Conn) processAck(t *sim.Task, s seg) {
 	ack := s.ack
 	// Compare against snd.max, not snd.nxt: after a timeout rewind the peer
@@ -212,39 +249,30 @@ func (c *Conn) processAck(t *sim.Task, s seg) {
 		c.sendACK(t) // acks something never sent
 		return
 	}
-	if seqLE(ack, c.snd.una) {
-		// Duplicate ACK?
-		if len(s.payload) == 0 && s.wnd == c.snd.wnd && ack == c.snd.una && c.hasUnackedData() {
-			c.snd.dupAcks++
-			c.stats.DupAcksRcvd++
-			if c.snd.dupAcks == dupThresh {
-				// Fast retransmit + simplified fast recovery.
-				c.stats.FastRexmits++
-				c.mgr.stats.FastRexmits++
-				flight := c.snd.nxt - c.snd.una
-				half := flight / 2
-				if half < 2*c.mss {
-					half = 2 * c.mss
-				}
-				c.snd.ssthresh = half
-				c.snd.cwnd = c.snd.ssthresh
-				c.cancelRTT()
-				c.retransmitOldest(t)
-				c.armRexmit()
+	// Fold SACK blocks into the scoreboard first: both the duplicate and
+	// new-data paths consult it.
+	newSack := false
+	if c.peerSackOK && s.nsack > 0 {
+		c.stats.SacksRcvd++
+		for i := uint8(0); i < s.nsack; i++ {
+			b := s.sack[i]
+			if seqLE(b.end, c.snd.una) || seqGT(b.end, c.snd.max) {
+				continue // stale or absurd block
+			}
+			if seqLT(b.start, c.snd.una) {
+				b.start = c.snd.una
+			}
+			if c.sb.add(b) {
+				newSack = true
 			}
 		}
-		oldWnd := c.snd.wnd
-		c.snd.wnd = s.wnd
-		if oldWnd == 0 && s.wnd > 0 {
-			// Window update: leave persist mode and transmit.
-			c.disarmPersist()
-			c.output(t)
-		}
+	}
+	if seqLE(ack, c.snd.una) {
+		c.staleAck(t, s, newSack)
 		return
 	}
 	// New data acknowledged.
 	acked := ack - c.snd.una
-	c.snd.dupAcks = 0
 	c.sampleRTT(ack)
 	c.backoff = 0 // forward progress: the path is passing traffic again
 	// An ACK covering one byte past the remaining buffer can only be our
@@ -267,19 +295,28 @@ func (c *Conn) processAck(t *sim.Task, s seg) {
 	if seqGT(c.snd.una, c.snd.nxt) {
 		c.snd.nxt = c.snd.una // ack overtook a rewound snd.nxt
 	}
-	c.snd.wnd = s.wnd
-	if s.wnd > 0 {
+	c.sb.advance(c.snd.una)
+	c.updateSndWnd(s)
+	if c.snd.wnd > 0 {
 		c.disarmPersist()
 	}
-	// Congestion control: slow start below ssthresh, else additive.
-	if c.snd.cwnd < c.snd.ssthresh {
-		c.snd.cwnd += c.mss
-	} else {
-		inc := c.mss * c.mss / c.snd.cwnd
-		if inc == 0 {
-			inc = 1
+	// Recovery state machine and congestion control.
+	switch c.recovery {
+	case RecoveryFast:
+		if seqGE(ack, c.snd.recover) {
+			c.exitRecovery()
+		} else {
+			c.partialAck(t, acked)
 		}
-		c.snd.cwnd += inc
+	case RecoveryLoss:
+		if seqGE(ack, c.snd.recover) {
+			c.recovery = RecoveryOpen
+			c.snd.dupAcks = 0
+		}
+		c.cc.OnAck(c, acked) // slow-start regrowth continues during loss recovery
+	default:
+		c.snd.dupAcks = 0
+		c.cc.OnAck(c, acked)
 	}
 	if c.snd.una == c.snd.nxt {
 		c.disarmRexmit()
@@ -304,6 +341,127 @@ func (c *Conn) processAck(t *sim.Task, s seg) {
 		}
 	}
 	c.output(t)
+}
+
+// staleAck handles an acceptable segment whose ACK does not advance snd.una:
+// window updates (under the WL1/WL2 rule) and duplicate-ACK counting.
+func (c *Conn) staleAck(t *sim.Task, s seg, newSack bool) {
+	wndBefore := c.snd.wnd
+	// RFC 5681's duplicate-ACK test: no data, no window change, ack ==
+	// snd.una with data outstanding. A segment carrying new SACK
+	// information counts as a duplicate regardless of its window field
+	// (RFC 6675): the SACK proves the receiver took a new segment.
+	isDup := s.ack == c.snd.una && c.hasUnackedData() && len(s.payload) == 0 &&
+		s.flags&(view.TCPSyn|view.TCPFin) == 0 &&
+		(newSack || c.segWnd(s) == wndBefore)
+	c.updateSndWnd(s)
+	if wndBefore == 0 && c.snd.wnd > 0 {
+		// Window update: leave persist mode and transmit.
+		c.disarmPersist()
+		c.output(t)
+	}
+	if !isDup {
+		return
+	}
+	c.snd.dupAcks++
+	c.stats.DupAcksRcvd++
+	switch c.recovery {
+	case RecoveryOpen:
+		// RFC 6582's heuristic: don't re-enter recovery for dup ACKs of
+		// sequence space below an earlier recovery point.
+		if c.snd.dupAcks >= dupThresh && seqGE(c.snd.una, c.snd.recover) {
+			c.enterFastRecovery(t)
+		}
+	case RecoveryFast:
+		// Each further dup ACK means a segment left the network: inflate
+		// the window (RFC 6582 step 3) and retransmit the next SACK hole.
+		if !c.cc.OwnsCwnd() {
+			c.setCwnd(c.snd.cwnd + c.mss)
+		}
+		c.sackRexmit(t)
+		c.output(t)
+	case RecoveryLoss:
+		c.sackRexmit(t)
+	}
+}
+
+// enterFastRecovery is RFC 6582 step 2: remember the recovery point,
+// collapse ssthresh via the algorithm, retransmit the lost segment, and
+// inflate cwnd by the three segments the dup ACKs proved have left the
+// network.
+func (c *Conn) enterFastRecovery(t *sim.Task) {
+	c.stats.FastRexmits++
+	c.mgr.stats.FastRexmits++
+	c.stats.FastRecoveries++
+	c.mgr.stats.FastRecoveries++
+	c.recovery = RecoveryFast
+	c.snd.recover = c.snd.max
+	c.rexmitHint = c.snd.una
+	c.snd.ssthresh = c.cc.SsthreshAfterLoss(c)
+	c.cc.OnEnterRecovery(c)
+	hole := uint32(0)
+	if c.sb.n > 0 {
+		// Bound the retransmission at the first SACKed range.
+		if start, end, ok := c.sb.nextHole(c.snd.una); ok && start == c.snd.una {
+			hole = end
+		}
+	}
+	if n := c.retransmitHole(t, c.snd.una, hole); n > 0 {
+		c.rexmitHint = c.snd.una + n
+	}
+	c.rescueSeq = c.snd.max
+	if !c.cc.OwnsCwnd() {
+		c.setCwnd(c.snd.ssthresh + dupThresh*c.mss)
+	}
+	c.armRexmit()
+	c.output(t) // the inflated window may admit new data (RFC 6582 step 4)
+}
+
+// partialAck is RFC 6582 step 5: inside recovery, an ACK that advances
+// snd.una without reaching the recovery point proves the next segment is
+// also lost. Retransmit it, deflate the inflation by the amount acked (plus
+// one MSS for the segment that left the network), and stay in recovery.
+func (c *Conn) partialAck(t *sim.Task, acked uint32) {
+	c.stats.PartialAcks++
+	hole := uint32(0)
+	if start, end, ok := c.sb.nextHole(c.snd.una); ok && start == c.snd.una {
+		hole = end
+	}
+	if n := c.retransmitHole(t, c.snd.una, hole); n > 0 {
+		c.rexmitHint = c.snd.una + n
+	}
+	c.rescueSeq = c.snd.max
+	if !c.cc.OwnsCwnd() {
+		w := c.snd.cwnd
+		if acked >= w {
+			w = c.mss
+		} else {
+			w -= acked
+		}
+		if acked >= c.mss {
+			w += c.mss
+		}
+		c.setCwnd(w)
+	}
+	c.armRexmit()
+	c.output(t)
+}
+
+// exitRecovery is RFC 6582 step 5's full-ACK arm: the recovery point is
+// cumulatively acked. Deflate to min(ssthresh, flight+MSS) — the
+// conservative option that avoids a burst after heavy inflation.
+func (c *Conn) exitRecovery() {
+	c.recovery = RecoveryOpen
+	c.snd.dupAcks = 0
+	c.rexmitHint = 0
+	if !c.cc.OwnsCwnd() {
+		w := c.flightSize() + c.mss
+		if c.snd.ssthresh < w {
+			w = c.snd.ssthresh
+		}
+		c.setCwnd(w)
+	}
+	c.cc.OnExitRecovery(c)
 }
 
 func (c *Conn) hasUnackedData() bool {
@@ -403,6 +561,7 @@ func (c *Conn) bufferOOO(s seg) {
 		}
 	}
 	c.stats.OOOBuffered++
+	c.lastOOOSeq = s.seq
 	p := append([]byte(nil), s.payload...)
 	c.ooo = append(c.ooo, oooSeg{seq: s.seq, payload: p, fin: s.flags&view.TCPFin != 0})
 	sort.Slice(c.ooo, func(i, j int) bool { return seqLT(c.ooo[i].seq, c.ooo[j].seq) })

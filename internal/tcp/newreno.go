@@ -1,0 +1,51 @@
+// NewReno (RFC 6582) congestion control with RFC 3465 appropriate byte
+// counting. The recovery state machine itself — partial-ACK retransmit,
+// window inflation/deflation — lives in the connection; this type supplies
+// the growth and reduction policy.
+package tcp
+
+import "plexus/internal/sim"
+
+func init() { RegisterCC("newreno", newNewReno) }
+
+type newReno struct {
+	// acc is the appropriate-byte-counting accumulator: bytes acked but not
+	// yet converted into cwnd growth.
+	acc uint32
+}
+
+func newNewReno() CongestionControl { return &newReno{} }
+
+func (*newReno) Name() string                       { return "newreno" }
+func (*newReno) Init(*Conn)                         {}
+func (*newReno) OwnsCwnd() bool                     { return false }
+func (*newReno) OnRTTSample(*Conn, sim.Time)        {}
+func (*newReno) PacingDelay(*Conn, uint32) sim.Time { return 0 }
+
+// OnAck grows cwnd from bytes acknowledged (RFC 3465): slow start below
+// ssthresh with L=2·SMSS, then one MSS per cwnd's worth of acked bytes in
+// congestion avoidance. Credit carries across the ssthresh crossing, so a
+// stretch ACK neither overshoots ssthresh nor over-credits avoidance.
+func (r *newReno) OnAck(c *Conn, acked uint32) {
+	r.acc += acked
+	slowStartGrow(c, &r.acc)
+	if c.snd.cwnd >= c.snd.ssthresh {
+		for r.acc >= c.snd.cwnd {
+			r.acc -= c.snd.cwnd
+			c.setCwnd(c.snd.cwnd + c.mss)
+		}
+	}
+}
+
+// SsthreshAfterLoss is RFC 5681's max(FlightSize/2, 2·SMSS).
+func (*newReno) SsthreshAfterLoss(c *Conn) uint32 {
+	half := c.flightSize() / 2
+	if half < 2*c.mss {
+		half = 2 * c.mss
+	}
+	return half
+}
+
+func (r *newReno) OnEnterRecovery(*Conn) { r.acc = 0 }
+func (r *newReno) OnExitRecovery(*Conn)  { r.acc = 0 }
+func (r *newReno) OnRTO(*Conn)           { r.acc = 0 }

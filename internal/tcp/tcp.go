@@ -53,7 +53,12 @@ type Stats struct {
 	RSTsRejected uint64
 	Retransmits  uint64
 	FastRexmits  uint64
-	DelayedAcks  uint64
+	// FastRecoveries counts NewReno fast-recovery episodes across all
+	// connections; SackRexmits counts scoreboard-driven selective
+	// retransmissions.
+	FastRecoveries uint64
+	SackRexmits    uint64
+	DelayedAcks    uint64
 	// TimeWaitRearms counts retransmitted FINs arriving in TIME-WAIT that
 	// were re-ACKed and restarted the 2·MSL timer (RFC 793 p.73).
 	TimeWaitRearms uint64
@@ -89,6 +94,11 @@ type Manager struct {
 	nextPort uint16
 	issSeed  uint32
 	stats    Stats
+	// defaultCC names the congestion-control algorithm for connections
+	// that don't pick one ("" = NewReno).
+	defaultCC string
+	// minRTO is the retransmission-timeout floor for all connections.
+	minRTO sim.Time
 
 	// audit receives every connection state transition; hostName is the
 	// precomputed host label stamped into each event (never formatted on
@@ -119,6 +129,12 @@ type Config struct {
 	// Audit receives every connection state transition (nil = disabled;
 	// SetAuditSink can install one later).
 	Audit TransitionSink
+	// DefaultCC names the congestion-control algorithm for connections that
+	// don't select one via ConnOptions.CC ("" = NewReno).
+	DefaultCC string
+	// MinRTO overrides the retransmission-timeout floor (0 = the RFC 6298
+	// conservative 1s). Modern low-latency stacks use ~200ms.
+	MinRTO sim.Time
 }
 
 // New creates the manager, declares TCP.PacketRecv, and installs the TCP
@@ -138,7 +154,12 @@ func New(cfg Config) (*Manager, error) {
 		nextPort:         32768,
 		issSeed:          uint32(cfg.Sim.Rand().Int63()),
 		audit:            cfg.Audit,
+		defaultCC:        cfg.DefaultCC,
+		minRTO:           cfg.MinRTO,
 		requireEphemeral: cfg.RequireEphemeral,
+	}
+	if m.minRTO == 0 {
+		m.minRTO = minRTO
 	}
 	if cfg.CPU != nil {
 		m.hostName = cfg.CPU.Name()
@@ -243,6 +264,12 @@ type seg struct {
 	flags   uint8
 	wnd     uint32
 	payload []byte
+	// Parsed options. mss is 0 when absent; wscale is -1 when absent.
+	mss      uint16
+	wscale   int8
+	sackPerm bool
+	nsack    uint8
+	sack     [maxParsedSackBlocks]sackBlock
 }
 
 // parseSeg extracts the segment from an IP datagram packet.
@@ -261,7 +288,11 @@ func parseSeg(pkt *mbuf.Mbuf) (seg, bool) {
 	if err != nil {
 		return seg{}, false
 	}
-	return seg{
+	dataOff := tv.DataOff()
+	if dataOff < view.TCPMinHdrLen || dataOff > len(raw) {
+		return seg{}, false
+	}
+	s := seg{
 		src:     ipv.Src(),
 		dst:     ipv.Dst(),
 		srcPort: tv.SrcPort(),
@@ -270,8 +301,13 @@ func parseSeg(pkt *mbuf.Mbuf) (seg, bool) {
 		ack:     tv.Ack(),
 		flags:   tv.Flags(),
 		wnd:     uint32(tv.Window()),
-		payload: raw[tv.DataOff():],
-	}, true
+		payload: raw[dataOff:],
+		wscale:  -1,
+	}
+	if dataOff > view.TCPMinHdrLen {
+		parseOptions(raw[view.TCPMinHdrLen:dataOff], &s)
+	}
+	return s, true
 }
 
 // segTextLen returns the sequence-space length of a segment (payload plus
@@ -295,19 +331,23 @@ func (m *Manager) sendRSTFor(t *sim.Task, pkt *mbuf.Mbuf) {
 	}
 	m.stats.RSTsSent++
 	if s.flags&view.TCPAck != 0 {
-		m.sendSegment(t, s.dstPort, s.src, s.srcPort, s.ack, 0, view.TCPRst, 0, nil)
+		m.sendSegment(t, s.dstPort, s.src, s.srcPort, s.ack, 0, view.TCPRst, 0, nil, nil)
 	} else {
-		m.sendSegment(t, s.dstPort, s.src, s.srcPort, 0, s.seq+s.segTextLen(), view.TCPRst|view.TCPAck, 0, nil)
+		m.sendSegment(t, s.dstPort, s.src, s.srcPort, 0, s.seq+s.segTextLen(), view.TCPRst|view.TCPAck, 0, nil, nil)
 	}
 }
 
-// sendSegment builds and transmits one TCP segment.
-func (m *Manager) sendSegment(t *sim.Task, srcPort uint16, dst view.IP4, dstPort uint16, seqNum, ackNum uint32, flags uint8, wnd uint32, payload []byte) {
+// sendSegment builds and transmits one TCP segment. opts is the option
+// block (must be 32-bit aligned and at most 40 bytes); the data offset is
+// derived from its length.
+func (m *Manager) sendSegment(t *sim.Task, srcPort uint16, dst view.IP4, dstPort uint16, seqNum, ackNum uint32, flags uint8, wnd uint32, opts, payload []byte) {
 	m.stats.SegsOut++
-	buf := make([]byte, view.TCPMinHdrLen+len(payload))
-	copy(buf[view.TCPMinHdrLen:], payload)
+	hdrLen := view.TCPMinHdrLen + len(opts)
+	buf := make([]byte, hdrLen+len(payload))
+	copy(buf[view.TCPMinHdrLen:], opts)
+	copy(buf[hdrLen:], payload)
 	raw := buf
-	raw[12] = 5 << 4 // data offset 20
+	raw[12] = uint8(hdrLen/4) << 4
 	v, err := view.TCP(raw)
 	if err != nil {
 		return
@@ -435,7 +475,7 @@ func (l *Listener) input(t *sim.Task, pkt *mbuf.Mbuf) {
 	}
 	if s.flags&view.TCPAck != 0 {
 		l.mgr.stats.RSTsSent++
-		l.mgr.sendSegment(t, l.port, s.src, s.srcPort, s.ack, 0, view.TCPRst, 0, nil)
+		l.mgr.sendSegment(t, l.port, s.src, s.srcPort, s.ack, 0, view.TCPRst, 0, nil, nil)
 		return
 	}
 	if s.flags&view.TCPSyn == 0 {
@@ -449,7 +489,12 @@ func (l *Listener) input(t *sim.Task, pkt *mbuf.Mbuf) {
 	c.setState(StateListen, userCause(CauseListen))
 	c.rcv.irs = s.seq
 	c.rcv.nxt = s.seq + 1
+	// A SYN's window is never scaled (RFC 7323 §2.2); wl1/wl2 seed the
+	// window-update freshness rule.
 	c.snd.wnd = s.wnd
+	c.snd.wl1 = s.seq
+	c.snd.wl2 = s.ack
+	c.applySynOptions(s)
 	c.setState(StateSynRcvd, segCause(s))
 	c.sendSYNACK(t)
 }

@@ -32,6 +32,8 @@ func (m *Manager) AttachHealth(d *event.Dispatcher) {
 			RSTsRejected:       m.stats.RSTsRejected,
 			TimeWaitRearms:     m.stats.TimeWaitRearms,
 			TimeWaitQuietDrops: m.stats.TimeWaitQuietDrops,
+			FastRecoveries:     m.stats.FastRecoveries,
+			SackRexmits:        m.stats.SackRexmits,
 		}
 	})
 }
@@ -73,3 +75,19 @@ func (c *Conn) AckedBytes() uint32 { return c.snd.una - c.snd.iss }
 
 // SRTT returns the smoothed round-trip estimate (0 before the first sample).
 func (c *Conn) SRTT() sim.Time { return c.srtt }
+
+// CCName returns the congestion-control algorithm bound to the connection.
+func (c *Conn) CCName() string { return c.ccName }
+
+// Recovery returns the sender's loss-recovery phase.
+func (c *Conn) Recovery() RecoveryState { return c.recovery }
+
+// SackedBytes returns the sequence space the peer has selectively
+// acknowledged above snd.una.
+func (c *Conn) SackedBytes() uint32 { return c.sb.sackedBytes() }
+
+// SackEnabled reports whether SACK was negotiated on the handshake.
+func (c *Conn) SackEnabled() bool { return c.peerSackOK }
+
+// WndScales returns the negotiated send/receive window-scale shifts.
+func (c *Conn) WndScales() (snd, rcv uint8) { return c.sndWndScale, c.rcvWndScale }

@@ -154,6 +154,7 @@ type tcpConnSeries struct {
 	inflight, acked                *Series
 	srtt, rto                      *Series
 	rexmits                        *Series
+	recovery, sacked               *Series
 	gen                            uint64 // last tick this connection was seen
 }
 
@@ -186,6 +187,8 @@ func (tp *tcpProbe) visit(c *tcp.Conn) {
 			srtt:     tp.eng.Series("tcp.srtt_ns", host, lbl),
 			rto:      tp.eng.Series("tcp.rto_ns", host, lbl),
 			rexmits:  tp.eng.Series("tcp.retransmits", host, lbl),
+			recovery: tp.eng.Series("tcp.recovery_state", host, lbl),
+			sacked:   tp.eng.Series("tcp.sacked_bytes", host, lbl),
 		}
 		c.SetProbeTag(t)
 		tp.conns = append(tp.conns, t)
@@ -207,6 +210,8 @@ func (tp *tcpProbe) visit(c *tcp.Conn) {
 	s.Observe(t.srtt, int64(c.SRTT()))
 	s.Observe(t.rto, int64(c.RTO()))
 	s.Observe(t.rexmits, int64(c.Stats().Retransmits))
+	s.Observe(t.recovery, int64(c.Recovery()))
+	s.Observe(t.sacked, int64(c.SackedBytes()))
 }
 
 // sweep retires connections that left the manager's list since the last
